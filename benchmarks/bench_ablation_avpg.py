@@ -1,0 +1,66 @@
+"""Ablation: the AVPG's redundant-communication elimination (§5.2).
+
+Compiles multi-loop programs with the AVPG filtering enabled and
+disabled and compares message counts, bytes, and communication time.
+SWIM's time-stepping structure is where the AVPG pays: slave copies of
+the stencil arrays stay valid between sweeps, so only halo/boundary
+regions are re-scattered.
+"""
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.executor import run_program
+from repro.workloads import swim, synthetic
+
+from benchmarks.benchutil import emit_table, run_once
+
+CASES = [
+    ("SWIM 64, 3 steps", lambda: swim.source(64, 3)),
+    ("AVPG chain", lambda: synthetic.avpg_chain(8192)),
+]
+
+
+def _measure():
+    out = {}
+    for name, make in CASES:
+        src = make()
+        for avpg in (True, False):
+            prog = compile_source(
+                src, nprocs=4, granularity="fine", avpg=avpg
+            )
+            r = run_program(prog, execute=False)
+            out[(name, avpg)] = (
+                int(r.hw["messages"]),
+                int(r.hw["bytes"]),
+                r.comm_max_s,
+            )
+    return out
+
+
+def test_ablation_avpg(benchmark):
+    rows = run_once(benchmark, _measure)
+    lines = [
+        f"{'case':18s} {'AVPG':>5s} {'msgs':>7s} {'bytes':>10s} {'comm(ms)':>9s}",
+        "-" * 55,
+    ]
+    for name, _ in CASES:
+        for avpg in (True, False):
+            msgs, nbytes, comm = rows[(name, avpg)]
+            lines.append(
+                f"{name:18s} {'on' if avpg else 'off':>5s} {msgs:7d}"
+                f" {nbytes:10d} {comm * 1e3:9.3f}"
+            )
+        on = rows[(name, True)]
+        off = rows[(name, False)]
+        lines.append(
+            f"{'':18s} saved {off[0] - on[0]} msgs,"
+            f" {(off[1] - on[1]) / 1024:.0f} KiB,"
+            f" {(off[2] - on[2]) * 1e3:.3f} ms"
+        )
+    emit_table(benchmark, "ablation_avpg", lines)
+
+    for name, _ in CASES:
+        on = rows[(name, True)]
+        off = rows[(name, False)]
+        assert on[0] < off[0], name  # fewer messages
+        assert on[1] < off[1], name  # fewer bytes
+        assert on[2] <= off[2] * 1.001, name  # no slower

@@ -1,0 +1,96 @@
+"""Figures 2, 3, 4: LMAD access-movement examples.
+
+Regenerates the memory-access diagrams of the paper's LMAD introduction:
+
+* Fig 2 — ``DO i=1,11,2`` touching ``A(i)``: consistent stride 2;
+* Fig 3 — ``DO i=1,4`` touching ``A(i*2-1)``: the "variant" expression
+  still yields one consistent stride (2);
+* Fig 4 — ``REAL A(14,*)`` under ``DO I=1,2 / DO J=1,2 / DO K=1,10,3``
+  touching ``A(K, J+2*(I-1))``: the three-dimensional LMAD
+  ``A^{3,14,28}_{9,14,28}+0`` (the paper's printed copy garbles the
+  third stride/span as 26; the arithmetic gives 28).
+"""
+
+from repro.compiler.analysis.access import LoopCtx, ref_lmad
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+
+from benchmarks.benchutil import emit_table, run_once
+
+
+def _diagram(offsets, extent):
+    cells = ["#" if i in set(offsets) else "." for i in range(extent)]
+    return "".join(cells)
+
+
+def _measure():
+    out = {}
+
+    unit2 = lower_program(parse("""
+      PROGRAM F2
+      REAL*8 A(12)
+      DO I = 1, 11, 2
+        A(I) = 0.0
+      ENDDO
+      END
+""")).main
+    ref2 = unit2.body[0].body[0].lhs
+    l2 = ref_lmad(ref2, unit2.symtab, [LoopCtx("I", 1, 11, 2)])
+    out["fig2"] = l2
+
+    unit3 = lower_program(parse("""
+      PROGRAM F3
+      REAL*8 A(8)
+      DO I = 1, 4
+        A(I*2-1) = 0.0
+      ENDDO
+      END
+""")).main
+    ref3 = unit3.body[0].body[0].lhs
+    l3 = ref_lmad(ref3, unit3.symtab, [LoopCtx("I", 1, 4, 1)])
+    out["fig3"] = l3
+
+    unit4 = lower_program(parse("""
+      PROGRAM F4
+      REAL*8 A(14,4)
+      DO I = 1, 2
+        DO J = 1, 2
+          DO K = 1, 10, 3
+            A(K, J+2*(I-1)) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+""")).main
+    ref4 = unit4.body[0].body[0].body[0].body[0].lhs
+    ctxs = [
+        LoopCtx("I", 1, 2, 1),
+        LoopCtx("J", 1, 2, 1),
+        LoopCtx("K", 1, 10, 3),
+    ]
+    out["fig4"] = ref_lmad(ref4, unit4.symtab, ctxs)
+    return out
+
+
+def test_figures_2_3_4_lmads(benchmark):
+    lmads = run_once(benchmark, _measure)
+    l2, l3, l4 = lmads["fig2"], lmads["fig3"], lmads["fig4"]
+
+    lines = [
+        f"Fig 2  DO i=1,11,2 : A(i)        -> {l2}",
+        f"       {_diagram(l2.enumerate(), 12)}",
+        f"Fig 3  DO i=1,4    : A(i*2-1)    -> {l3}",
+        f"       {_diagram(l3.enumerate(), 8)}",
+        f"Fig 4  triple nest : A(K,J+2(I-1)) -> {l4}",
+        f"       {_diagram(l4.enumerate(), 56)}",
+    ]
+    emit_table(benchmark, "fig2_fig3_fig4_lmads", lines)
+
+    assert (l2.dims[0].stride, l2.dims[0].span, l2.base) == (2, 10, 0)
+    assert l2.enumerate().tolist() == [0, 2, 4, 6, 8, 10]
+    assert (l3.dims[0].stride, l3.dims[0].span) == (2, 6)
+    strides = sorted(d.stride for d in l4.dims)
+    spans = sorted(d.span for d in l4.dims)
+    assert strides == [3, 14, 28] and spans == [9, 14, 28]
+    assert l4.base == 0
+    assert l4.count_distinct() == 16

@@ -1,0 +1,94 @@
+"""Figure 9: fine/middle/coarse regions for a strided access split
+across two processors, plus the middle-vs-fine crossover sweep.
+
+Part 1 regenerates the figure: the stride-3 pattern inside groups of 14
+(``A(14,*)``), its exact (fine) transfers, the per-group bounding runs
+(middle), and the single coarse region — with transfer counts matching
+the §5.6 formulas.
+
+Part 2 sweeps the write stride of a synthetic kernel to locate the
+regime boundary the paper's Table 2 straddles: small strides favour the
+middle grain (contiguous DMA beats per-element PIO despite redundant
+bytes), large strides flip it.
+"""
+
+from repro.compiler.analysis.lmad import LMAD
+from repro.compiler.pipeline import compile_source
+from repro.compiler.postpass.granularity import (
+    COARSE,
+    FINE,
+    MIDDLE,
+    plan_bytes,
+    plan_transfers,
+)
+from repro.runtime.executor import run_program
+from repro.workloads import synthetic
+
+from benchmarks.benchutil import emit_table, run_once
+
+
+def _measure():
+    # Part 1: the figure's LMAD.
+    lmad = LMAD.from_counts("A", 0, [(3, 5), (14, 2)])
+    plans = {g: plan_transfers(lmad, g) for g in (FINE, MIDDLE, COARSE)}
+
+    # Part 2: stride sweep on a real compiled workload (all phases
+    # written so approximate collects stay safe — the CFFZINIT shape).
+    sweep = {}
+    total = 2048
+    for stride in (1, 2, 3, 4, 8):
+        src = synthetic.phased_stride_kernel(total // stride, stride)
+        times = {}
+        for grain in (FINE, MIDDLE, COARSE):
+            prog = compile_source(src, nprocs=4, granularity=grain)
+            r = run_program(prog, execute=False)
+            times[grain] = r.comm_max_s
+        sweep[stride] = times
+    return lmad, plans, sweep
+
+
+def _strip(transfers, extent):
+    mask = ["."] * extent
+    for t in transfers:
+        for i in t.indices():
+            mask[i] = "#"
+    return "".join(mask)
+
+
+def test_figure9_granularity_regions(benchmark):
+    lmad, plans, sweep = run_once(benchmark, _measure)
+    extent = lmad.extent
+
+    lines = [f"LMAD: {lmad}"]
+    for g in (FINE, MIDDLE, COARSE):
+        ts = plans[g]
+        lines.append(
+            f"{g:7s}: {len(ts)} transfer(s), {plan_bytes(ts)} bytes   "
+            f"{_strip(ts, extent)}"
+        )
+    lines.append("")
+    lines.append("stride sweep, comm time (ms) on 4 nodes:")
+    lines.append(f"{'stride':>7s} {'fine':>9s} {'middle':>9s} {'coarse':>9s}")
+    for stride, times in sorted(sweep.items()):
+        lines.append(
+            f"{stride:7d} {times[FINE]*1e3:9.3f} {times[MIDDLE]*1e3:9.3f} "
+            f"{times[COARSE]*1e3:9.3f}"
+        )
+    emit_table(benchmark, "fig9_granularity_regions", lines)
+
+    # Figure shape: the §5.6 transfer-count formulas.
+    assert len(plans[FINE]) == 2 and all(t.stride == 3 for t in plans[FINE])
+    assert len(plans[MIDDLE]) == 2 and all(t.contiguous for t in plans[MIDDLE])
+    assert len(plans[COARSE]) == 1
+    assert plan_bytes(plans[FINE]) < plan_bytes(plans[MIDDLE])
+    assert plan_bytes(plans[MIDDLE]) <= plan_bytes(plans[COARSE])
+
+    # Crossover shape: at stride 2, middle beats fine (CFFZINIT's
+    # regime); by stride 8 the redundant bytes flip it (the regime where
+    # the paper saw middle losing); coarse aggregation always wins here.
+    assert sweep[2][MIDDLE] < sweep[2][FINE]
+    assert sweep[8][MIDDLE] > sweep[8][FINE]
+    gain = {s: sweep[s][FINE] / sweep[s][MIDDLE] for s in sweep if s > 1}
+    assert gain[8] < gain[2]
+    for s, times in sweep.items():
+        assert times[COARSE] <= min(times[FINE], times[MIDDLE]) * 1.001

@@ -1,0 +1,84 @@
+"""Section 2.2: contiguous MPI_PUT/MPI_GET use DMA; strided ones use
+programmed I/O and are "generally less efficient ... because they
+increase communication setup time significantly".
+
+Measures one-sided put cost versus element count for stride 1 (DMA) and
+stride 2/4 (PIO), splitting CPU-occupied time from end-to-end time: the
+DMA path's CPU cost is flat (descriptor programming), the PIO path's
+grows linearly with elements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi2 import Mpi2Runtime
+from repro.mpi2.window import Win
+from repro.vbus import build_cluster
+
+from benchmarks.benchutil import emit_table, run_once
+
+COUNTS = (64, 512, 4096)
+STRIDES = (1, 2, 4)
+
+
+def _put_cost(count, stride):
+    cluster = build_cluster(2)
+    runtime = Mpi2Runtime(cluster)
+    comms = [runtime.comm(0), runtime.comm(1)]
+    size = count * stride + 8
+    wins = Win.create(comms, [np.zeros(size), np.zeros(size)])
+    out = {}
+
+    def origin():
+        win = wins[0]
+        t0 = cluster.sim.now
+        yield from win.put(np.ones(count), target=1, offset=0, stride=stride)
+        out["cpu"] = cluster.sim.now - t0  # initiation blocks for CPU work
+        yield from win.fence()
+        out["total"] = cluster.sim.now - t0
+
+    def target():
+        yield from wins[1].fence()
+
+    cluster.sim.process(origin(), name="origin")
+    cluster.sim.process(target(), name="target")
+    cluster.sim.run()
+    return out["cpu"], out["total"]
+
+
+def _measure():
+    return {
+        (count, stride): _put_cost(count, stride)
+        for count in COUNTS
+        for stride in STRIDES
+    }
+
+
+def test_put_get_modes(benchmark):
+    rows = run_once(benchmark, _measure)
+    lines = [
+        f"{'elements':>9s} {'stride':>7s} {'mode':>6s} {'CPU(us)':>9s}"
+        f" {'total(us)':>10s}",
+        "-" * 48,
+    ]
+    for count in COUNTS:
+        for stride in STRIDES:
+            cpu, total = rows[(count, stride)]
+            mode = "DMA" if stride == 1 else "PIO"
+            lines.append(
+                f"{count:9d} {stride:7d} {mode:>6s} {cpu * 1e6:9.1f}"
+                f" {total * 1e6:10.1f}"
+            )
+    emit_table(benchmark, "sec2_put_get_modes", lines)
+
+    for count in COUNTS:
+        cpu_dma, _ = rows[(count, 1)]
+        cpu_pio, _ = rows[(count, 2)]
+        # PIO occupies the CPU per element; DMA's CPU cost is flat.
+        assert cpu_pio > cpu_dma
+    # DMA CPU cost does not grow with size; PIO's grows linearly.
+    assert rows[(4096, 1)][0] == pytest.approx(rows[(64, 1)][0], rel=0.01)
+    growth = rows[(4096, 2)][0] / rows[(64, 2)][0]
+    assert growth > 20
+    # End-to-end, big strided puts lose badly to contiguous ones.
+    assert rows[(4096, 2)][1] > 2 * rows[(4096, 1)][1]

@@ -1,0 +1,58 @@
+"""Section 2.1: SKWP raises link bandwidth ~4x over conventional
+pipelining, and untuned wave pipelining degrades with hop count.
+
+Regenerates the link-level comparison behind "SKWP increases the
+bandwidth up to four times higher than conventional pipelining":
+cycle times and bandwidths of the same physical link under the three
+pipelining disciplines, across hop counts (skew magnification).
+"""
+
+import pytest
+
+from repro.vbus.params import LinkParams
+from repro.vbus.signal import bandwidth_Bps, cycle_time_s
+
+from benchmarks.benchutil import emit_table, run_once
+
+MODES = ("conventional", "wave", "skwp")
+
+
+def _measure():
+    out = {}
+    for mode in MODES:
+        params = LinkParams(mode=mode)
+        for hops in (1, 2, 4, 8):
+            out[(mode, hops)] = (
+                cycle_time_s(params, hops),
+                bandwidth_Bps(params, hops),
+            )
+    return out
+
+
+def test_skwp_bandwidth(benchmark):
+    rows = run_once(benchmark, _measure)
+    lines = [
+        f"{'mode':14s} {'hops':>4s} {'cycle(ns)':>10s} {'BW(MB/s)':>10s}",
+        "-" * 42,
+    ]
+    for mode in MODES:
+        for hops in (1, 2, 4, 8):
+            cyc, bw = rows[(mode, hops)]
+            lines.append(
+                f"{mode:14s} {hops:4d} {cyc * 1e9:10.2f} {bw / 1e6:10.1f}"
+            )
+    ratio = rows[("skwp", 1)][1] / rows[("conventional", 1)][1]
+    lines.append("")
+    lines.append(f"SKWP / conventional bandwidth at 1 hop: {ratio:.2f}x "
+                 "(paper: ~4x)")
+    emit_table(benchmark, "sec2_skwp_bandwidth", lines)
+
+    assert ratio == pytest.approx(4.0, rel=0.15)
+    # Conventional pipelining is hop-independent.
+    assert rows[("conventional", 1)][0] == rows[("conventional", 8)][0]
+    # Untuned wave pipelining loses bandwidth with distance (skew
+    # magnification) and eventually falls below conventional.
+    assert rows[("wave", 8)][1] < rows[("wave", 1)][1]
+    assert rows[("wave", 8)][1] < rows[("conventional", 8)][1]
+    # SKWP resamples per hop: flat across distance.
+    assert rows[("skwp", 1)][1] == pytest.approx(rows[("skwp", 8)][1])

@@ -1,0 +1,80 @@
+"""Section 2.1: the V-Bus card offers ~4x higher bandwidth and ~4x lower
+latency than a Fast Ethernet card, and its hardware broadcast beats both
+the software tree and the shared Ethernet segment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi2 import Mpi2Runtime
+from repro.vbus import ETHERNET_100, build_cluster
+from repro.vbus.params import ClusterParams, cluster_for
+
+from benchmarks.benchutil import emit_table, run_once
+
+
+def _p2p_time(cluster, nbytes):
+    proc = cluster.sim.process(cluster.transfer(0, 1, nbytes))
+    return cluster.sim.run(until=proc).total_s
+
+
+def _bcast_time(params, nbytes):
+    cl = build_cluster(4, params=params)
+    rt = Mpi2Runtime(cl)
+    done = {}
+
+    def body(rank):
+        comm = rt.comm(rank)
+        data = np.zeros(max(1, nbytes // 8)) if rank == 0 else None
+        yield from comm.bcast(data, root=0)
+        done[rank] = cl.sim.now
+
+    for r in range(4):
+        cl.sim.process(body(r), name=f"r{r}")
+    cl.sim.run()
+    return max(done.values())
+
+
+def _measure():
+    out = {}
+    for nbytes in (64, 4096, 1 << 20):
+        out[("vbus", nbytes)] = _p2p_time(build_cluster(4), nbytes)
+        out[("ether", nbytes)] = _p2p_time(
+            build_cluster(4, params=cluster_for(4, ETHERNET_100)), nbytes
+        )
+    out["bcast_vbus"] = _bcast_time(None, 4096)
+    out["bcast_tree"] = _bcast_time(
+        cluster_for(4, ClusterParams(vbus_broadcast=False)), 4096
+    )
+    out["bcast_ether"] = _bcast_time(cluster_for(4, ETHERNET_100), 4096)
+    return out
+
+
+def test_vbus_vs_ethernet(benchmark):
+    rows = run_once(benchmark, _measure)
+    lines = [
+        f"{'size(B)':>9s} {'V-Bus(us)':>10s} {'Ether(us)':>10s} {'ratio':>6s}",
+        "-" * 40,
+    ]
+    for nbytes in (64, 4096, 1 << 20):
+        tv = rows[("vbus", nbytes)]
+        te = rows[("ether", nbytes)]
+        lines.append(
+            f"{nbytes:9d} {tv * 1e6:10.1f} {te * 1e6:10.1f} {te / tv:6.2f}"
+        )
+    lines.append("")
+    lines.append("4 KiB broadcast to 3 peers:")
+    lines.append(f"  V-Bus hardware bus : {rows['bcast_vbus'] * 1e6:8.1f} us")
+    lines.append(f"  software tree      : {rows['bcast_tree'] * 1e6:8.1f} us")
+    lines.append(f"  Fast Ethernet      : {rows['bcast_ether'] * 1e6:8.1f} us")
+    emit_table(benchmark, "sec2_vbus_latency", lines)
+
+    # Small-message latency ratio ~4x.
+    small = rows[("ether", 64)] / rows[("vbus", 64)]
+    assert 3.0 <= small <= 5.5
+    # Large-message bandwidth ratio ~4x (50 vs 12.5 MB/s).
+    big = rows[("ether", 1 << 20)] / rows[("vbus", 1 << 20)]
+    assert big == pytest.approx(4.0, rel=0.2)
+    # The hardware broadcast beats both alternatives.
+    assert rows["bcast_vbus"] < rows["bcast_tree"]
+    assert rows["bcast_vbus"] < rows["bcast_ether"]

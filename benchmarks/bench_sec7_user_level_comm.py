@@ -1,0 +1,71 @@
+"""Section 7: user-level communication — the MPI-2 library "performs
+user-level communication rather than system-level communication which
+incurs additional overhead for context switching between the user mode
+and the kernel mode".
+
+Compares per-message cost and a full MM run with the shared
+driver/daemon message queue (user-level) against the same NIC with the
+queue un-shared (extra copy + kernel context switch per message).
+"""
+
+import pytest
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.executor import run_program
+from repro.vbus import build_cluster
+from repro.vbus.params import ClusterParams, NicParams, cluster_for
+from repro.workloads import mm
+
+from benchmarks.benchutil import emit_table, run_once
+
+KERNEL_PARAMS = cluster_for(4, ClusterParams(nic=NicParams(shared_queue=False)))
+
+
+def _msg_time(params, nbytes):
+    cl = build_cluster(4, params=params)
+    proc = cl.sim.process(cl.transfer(0, 1, nbytes))
+    return cl.sim.run(until=proc).total_s
+
+
+def _measure():
+    out = {}
+    for nbytes in (64, 4096):
+        out[("user", nbytes)] = _msg_time(None, nbytes)
+        out[("kernel", nbytes)] = _msg_time(KERNEL_PARAMS, nbytes)
+    prog = compile_source(mm.source(128), nprocs=4, granularity="fine")
+    out[("mm", "user")] = run_program(prog, execute=False).comm_max_s
+    out[("mm", "kernel")] = run_program(
+        prog, cluster_params=KERNEL_PARAMS, execute=False
+    ).comm_max_s
+    return out
+
+
+def test_user_level_communication(benchmark):
+    rows = run_once(benchmark, _measure)
+    lines = [
+        f"{'message':>9s} {'user-level(us)':>15s} {'kernel-level(us)':>17s}"
+        f" {'overhead':>9s}",
+        "-" * 55,
+    ]
+    for nbytes in (64, 4096):
+        u = rows[("user", nbytes)]
+        k = rows[("kernel", nbytes)]
+        lines.append(
+            f"{nbytes:9d} {u * 1e6:15.1f} {k * 1e6:17.1f} {k / u:8.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"MM(128) comm time: user-level {rows[('mm', 'user')] * 1e3:.3f} ms, "
+        f"kernel-level {rows[('mm', 'kernel')] * 1e3:.3f} ms"
+    )
+    emit_table(benchmark, "sec7_user_level_comm", lines)
+
+    ctx = KERNEL_PARAMS.nic.context_switch_s
+    for nbytes in (64, 4096):
+        delta = rows[("kernel", nbytes)] - rows[("user", nbytes)]
+        assert delta == pytest.approx(ctx, rel=0.01)
+    # Small messages suffer the most (the overhead dominates).
+    small = rows[("kernel", 64)] / rows[("user", 64)]
+    big = rows[("kernel", 4096)] / rows[("user", 4096)]
+    assert small > big
+    assert rows[("mm", "kernel")] > rows[("mm", "user")]

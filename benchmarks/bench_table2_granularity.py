@@ -1,0 +1,95 @@
+"""Table 2: communication time at fine/middle/coarse granularity for
+MM(1024^2), SWIM(ITMAX=1), and CFFZINIT(M=11).
+
+Paper's rows (seconds):
+
+    MM(1024x1024)     fine 0.72     middle 0.89      coarse 0.01128
+    SWIM(ITMAX=1)     fine 0.20590  middle * (poor)  coarse 0.072166
+    CFFZINIT(M=11)    fine 0.3584   middle 0.0768    coarse 0.0068
+
+Two measurements are reported per cell: the *CPU* communication time
+(message-queue/DMA-descriptor/PIO work, the natural metric under the
+paper's DMA-overlap design) and the elapsed in-MPI time of the busiest
+rank.  Asserted shapes:
+
+* CFFZINIT: fine > middle > coarse (stride-2 LMADs; middle trades 50%
+  redundant bytes for contiguous DMA and wins; coarse aggregates);
+* MM: coarse beats fine on CPU-side communication time (message
+  aggregation); middle buys nothing over fine (our MM fine regions are
+  already unit-stride — the paper saw +17%, see EXPERIMENTS.md);
+* SWIM: middle buys nothing ("poor results at the Middle grain"), and
+  coarse never loses to fine.
+"""
+
+import pytest
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.executor import run_program
+from repro.workloads import cffzinit, mm, swim
+
+from benchmarks.benchutil import emit_table, run_once
+
+GRAINS = ("fine", "middle", "coarse")
+PAPER = {
+    ("MM", "fine"): "0.72", ("MM", "middle"): "0.89", ("MM", "coarse"): "0.01128",
+    ("SWIM", "fine"): "0.20590", ("SWIM", "middle"): "*", ("SWIM", "coarse"): "0.072166",
+    ("CFFZINIT", "fine"): "0.3584", ("CFFZINIT", "middle"): "0.0768", ("CFFZINIT", "coarse"): "0.0068",
+}
+
+
+def _measure():
+    workloads = [
+        ("MM", mm.source(1024)),
+        ("SWIM", swim.source(512, itmax=1)),
+        ("CFFZINIT", cffzinit.source(11)),
+    ]
+    out = {}
+    for name, src in workloads:
+        for grain in GRAINS:
+            prog = compile_source(src, nprocs=4, granularity=grain)
+            r = run_program(prog, execute=False)
+            out[(name, grain)] = (
+                r.comm_cpu_max_s,
+                r.comm_max_s,
+                int(r.hw["messages"]),
+                r.strided_transfers,
+            )
+    return out
+
+
+def test_table2_communication_granularity(benchmark):
+    rows = run_once(benchmark, _measure)
+
+    lines = [
+        f"{'workload':10s} {'grain':7s} {'commCPU(s)':>11s} {'commMax(s)':>11s}"
+        f" {'msgs':>7s} {'strided':>8s} {'paper(s)':>9s}",
+        "-" * 68,
+    ]
+    for name in ("MM", "SWIM", "CFFZINIT"):
+        for grain in GRAINS:
+            cpu, elapsed, msgs, strided = rows[(name, grain)]
+            lines.append(
+                f"{name:10s} {grain:7s} {cpu:11.5f} {elapsed:11.5f}"
+                f" {msgs:7d} {strided:8d} {PAPER[(name, grain)]:>9s}"
+            )
+    emit_table(benchmark, "table2_granularity", lines)
+
+    cpu = {k: v[0] for k, v in rows.items()}
+    elapsed = {k: v[1] for k, v in rows.items()}
+
+    # CFFZINIT: strict fine > middle > coarse on both metrics.
+    assert cpu[("CFFZINIT", "fine")] > cpu[("CFFZINIT", "middle")]
+    assert cpu[("CFFZINIT", "middle")] >= cpu[("CFFZINIT", "coarse")]
+    assert elapsed[("CFFZINIT", "fine")] > elapsed[("CFFZINIT", "middle")]
+    assert elapsed[("CFFZINIT", "middle")] > elapsed[("CFFZINIT", "coarse")]
+    # Fine grain really used strided (PIO) primitives for CFFZINIT.
+    assert rows[("CFFZINIT", "fine")][3] > 0
+    assert rows[("CFFZINIT", "middle")][3] == 0
+
+    # MM: coarse aggregation wins on CPU-side comm; middle ~ fine.
+    assert cpu[("MM", "coarse")] < cpu[("MM", "fine")]
+    assert cpu[("MM", "middle")] == pytest.approx(cpu[("MM", "fine")], rel=0.05)
+
+    # SWIM: middle buys nothing; coarse does not lose.
+    assert cpu[("SWIM", "middle")] >= 0.95 * cpu[("SWIM", "fine")]
+    assert cpu[("SWIM", "coarse")] <= cpu[("SWIM", "fine")] * 1.001

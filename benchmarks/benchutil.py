@@ -1,0 +1,30 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs
+the simulation once (simulations are deterministic — wall-clock rounds
+would only re-measure Python), prints the regenerated rows next to the
+paper's numbers, asserts the qualitative *shape* the paper reports, and
+stores the rows in ``benchmark.extra_info`` and under
+``benchmarks/results/``.
+"""
+
+import os
+from typing import Callable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark accounting."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit_table(benchmark, name: str, lines: List[str]) -> None:
+    """Print the regenerated table and persist it."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====")
+    print(text)
+    benchmark.extra_info["table"] = text
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Compiler explorer: watch every analysis stage on one small program.
+
+Prints the products of each pipeline phase — tokens, the lowered IR,
+LMADs, summary sets, the dependence verdicts, the AVPG, per-rank
+partitioning, and the final Fortran77+MPI-2 target — for a program with
+a deliberately mixed structure (a parallel init, a serial recurrence, a
+stride-2 loop, and a reduction).
+
+Run:  python examples/compiler_explorer.py
+"""
+
+from repro.compiler.analysis.art import test_loop_parallel
+from repro.compiler.analysis.summary import summarize_loop
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.compiler.pipeline import compile_source
+from repro.compiler.postpass.spmd import ParRegion, iter_regions
+
+SRC = """
+      PROGRAM DEMO
+      PARAMETER (N = 24)
+      REAL*8 A(N), B(N), T(2*N)
+      REAL*8 S
+      INTEGER I
+C     parallel elementwise init
+      DO I = 1, N
+        A(I) = DBLE(I) * 0.5
+      ENDDO
+C     serial recurrence (flow dependence)
+      B(1) = 1.0
+      DO I = 2, N
+        B(I) = B(I-1) + A(I)
+      ENDDO
+C     stride-2 table fill (the CFFZINIT pattern)
+      DO I = 1, N
+        T(2*I-1) = A(I)
+        T(2*I) = -A(I)
+      ENDDO
+C     sum reduction
+      S = 0.0
+      DO I = 1, N
+        S = S + T(2*I)
+      ENDDO
+      PRINT *, S
+      END
+"""
+
+unit = lower_program(parse(SRC)).main
+loops = [s for s in unit.body if isinstance(s, F.Do)]
+
+print("== 1. per-loop analysis ==")
+for loop in loops:
+    print(f"\nDO {loop.var} (loop id {loop.loop_id})")
+    summary, _ctx = summarize_loop(loop, unit.symtab)
+    for name, arr in sorted(summary.arrays.items()):
+        regions = arr.writes or arr.reads
+        print(f"  {name:4s} {arr.classification:10s} "
+              + ", ".join(str(l) for l in regions[:2]))
+    verdict = test_loop_parallel(loop, unit.symtab)
+    state = "PARALLEL" if verdict.independent else "serial"
+    why = "" if verdict.independent else f"  ({verdict.conflicts[0]})"
+    print(f"  -> {state}{why}")
+
+print("\n== 2. the MPI-2 postpass ==")
+program = compile_source(SRC, nprocs=4, granularity="middle")
+print(program.parallelization_log)
+
+print("\n-- AVPG attributes (rows: regions; columns: arrays) --")
+g = program.avpg
+cols = g.arrays
+print(f"  {'node':10s} " + " ".join(f"{a:>9s}" for a in cols))
+for node in g.nodes:
+    print(f"  {node.label:10s} "
+          + " ".join(f"{node.attrs[a]:>9s}" for a in cols))
+
+print("\n-- partitioning + plans --")
+for region in iter_regions(program.regions):
+    if not isinstance(region, ParRegion):
+        continue
+    part = region.partition
+    plan = program.plans[region.region_id]
+    chunks = []
+    for r in range(4):
+        ctx = part.rank_ctx(r)
+        chunks.append("-" if ctx is None else f"{ctx.lo}:{ctx.hi}:{ctx.step}")
+    print(f"  region {region.region_id}: DO {region.loop.var} "
+          f"[{part.strategy}]  ranks: {', '.join(chunks)}")
+    for name, aplan in sorted(plan.arrays.items()):
+        print(f"    {name}: scatter {aplan.scatter_messages()} msg(s)"
+              f"{' (bcast)' if aplan.scatter_bcast else ''}, collect "
+              f"{aplan.collect_messages()} msg(s) at {aplan.collect_grain}"
+              + (f" [demoted: {aplan.demotion_reason}]"
+                 if aplan.demotion_reason else ""))
+
+print("\n== 3. generated Fortran77 + MPI-2 ==")
+print(program.fortran)

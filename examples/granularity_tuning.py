@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Sweep the paper's three communication granularities over the three
+Table 2 workloads (smaller instances, value-mode execution).
+
+The paper leaves granularity selection to the user (§5.6); this example
+is the tuning session that choice implies: compile each workload at
+fine / middle / coarse and compare communication time, message counts,
+and strided-vs-contiguous primitive mix.
+
+Run:  python examples/granularity_tuning.py
+"""
+
+from repro import compile_source, run_program
+from repro.workloads import cffzinit, mm, swim
+
+WORKLOADS = [
+    ("MM 64x64", lambda: mm.source(64), lambda: mm.init_arrays(64)),
+    ("SWIM 32x32 (ITMAX=1)", lambda: swim.source(32, 1), lambda: None),
+    ("CFFZINIT M=9", lambda: cffzinit.source(9), lambda: None),
+]
+
+header = (
+    f"{'workload':24s} {'grain':7s} {'comm(ms)':>9s} {'msgs':>6s} "
+    f"{'strided':>8s} {'contig':>7s} {'demoted?':10s}"
+)
+print(header)
+print("-" * len(header))
+
+for name, make_src, make_init in WORKLOADS:
+    src = make_src()
+    init = make_init()
+    for grain in ("fine", "middle", "coarse"):
+        program = compile_source(src, nprocs=4, granularity=grain)
+        report = run_program(program, init=init)
+        demoted = [
+            aplan.demotion_reason is not None
+            for plan in program.plans.values()
+            for aplan in plan.arrays.values()
+        ]
+        note = "yes" if any(demoted) else ""
+        print(
+            f"{name:24s} {grain:7s} {report.comm_max_s * 1e3:9.3f} "
+            f"{int(report.hw['messages']):6d} {report.strided_transfers:8d} "
+            f"{report.contiguous_transfers:7d} {note:10s}"
+        )
+    print()
+
+print("Reading the table:")
+print(" * CFFZINIT's stride-2 regions make fine grain pay per-element")
+print("   programmed I/O; middle converts them to contiguous DMA (50%")
+print("   redundant bytes, still cheaper); coarse sends one region.")
+print(" * MM/SWIM regions are already unit-stride, so middle buys")
+print("   nothing; coarse may be demoted back to fine for collects whose")
+print("   bounding regions would overlap across ranks (the 5.6 check).")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Tour of the MPI-2 library on a simulated 2x2 V-Bus mesh.
+
+Shows the primitive set the paper's compiler targets, used directly:
+two-sided send/recv, collectives on the V-Bus hardware broadcast, and
+one-sided Put/Get on memory windows with fence epochs and locks.
+
+Run:  python examples/mpi2_api_tour.py
+"""
+
+import numpy as np
+
+from repro.mpi2 import Mpi2Runtime, SUM
+from repro.mpi2.window import Win
+from repro.vbus import build_cluster
+
+NPROCS = 4
+
+cluster = build_cluster(NPROCS)
+runtime = Mpi2Runtime(cluster)
+comms = [runtime.comm(r) for r in range(NPROCS)]
+buffers = [np.zeros(16) for _ in range(NPROCS)]
+wins = Win.create(comms, buffers)
+
+log = []
+
+
+def rank_body(rank):
+    comm = comms[rank]
+    win = wins[rank]
+
+    # --- two-sided -----------------------------------------------------
+    if rank == 0:
+        yield from comm.send({"hello": "from master"}, dest=1, tag=1)
+    elif rank == 1:
+        msg = yield from comm.recv(source=0, tag=1)
+        log.append(f"[rank 1] recv: {msg}")
+
+    # --- collective: V-Bus hardware broadcast ----------------------------
+    data = np.arange(4.0) if rank == 0 else None
+    data = yield from comm.bcast(data, root=0)
+    if rank == 2:
+        log.append(f"[rank 2] bcast got {data.tolist()}")
+
+    # --- reduction -------------------------------------------------------
+    total = yield from comm.allreduce(rank + 1, SUM)
+    if rank == 3:
+        log.append(f"[rank 3] allreduce sum(1..4) = {total}")
+
+    # --- one-sided: put/get + fence epochs -----------------------------
+    yield from win.fence()
+    if rank == 0:
+        # Contiguous put rides the DMA engine...
+        yield from win.put(np.full(4, 7.0), target=1, offset=0)
+        # ...strided put uses programmed I/O, element by element.
+        yield from win.put(np.full(3, 9.0), target=1, offset=8, stride=2)
+    yield from win.fence()
+    if rank == 1:
+        log.append(f"[rank 1] window after puts: {win.local.tolist()}")
+    if rank == 2:
+        vals = yield from win.get(target=1, offset=0, count=4)
+        log.append(f"[rank 2] got from rank 1's window: {vals.tolist()}")
+    yield from win.fence()
+
+    # --- lock-protected accumulate (how reductions combine) -------------
+    yield from win.lock(0)
+    yield from win.accumulate(np.array([float(rank)]), target=0, op=SUM, offset=15)
+    win.unlock(0)
+    yield from win.fence()
+    if rank == 0:
+        log.append(f"[rank 0] accumulated slot: {win.local[15]}")
+
+
+for r in range(NPROCS):
+    cluster.sim.process(rank_body(r), name=f"rank{r}")
+cluster.sim.run()
+
+print("\n".join(log))
+print()
+stats = cluster.stats()
+print(f"simulated time      : {cluster.sim.now * 1e6:.1f} us")
+print(f"messages            : {int(stats['messages'])}")
+print(f"V-Bus broadcasts    : {int(stats.get('hw_broadcasts', 0))}")
+print(f"p2p freezes by bus  : {int(stats['freezes'])}")
+print(f"PIO elements copied : {int(stats['pio_elements'])}")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Hardware-level demo: what the virtual bus actually does.
+
+Launches a long point-to-point wormhole transfer across the mesh, then
+issues a V-Bus broadcast mid-flight: the broadcast freezes the p2p
+message in its router buffers, claims the transient bus, delivers one
+wave to every node, and releases — the p2p transfer resumes where it
+stopped.  Compares broadcast latency against a software tree and the
+Fast Ethernet physical bus.
+
+Run:  python examples/vbus_broadcast_demo.py
+"""
+
+import numpy as np
+
+from repro.mpi2 import Mpi2Runtime
+from repro.vbus import ETHERNET_100, build_cluster
+from repro.vbus.params import ClusterParams, cluster_for
+
+PAYLOAD = 4096  # broadcast payload, bytes
+P2P_BYTES = 200_000
+
+print("== 1. freeze/resume mechanics on a 2x2 V-Bus mesh ==")
+cluster = build_cluster(4)
+sim = cluster.sim
+events = []
+
+
+def p2p():
+    receipt = yield from cluster.transfer(0, 3, P2P_BYTES)
+    events.append(("p2p done", sim.now, receipt.total_s))
+
+
+def bcaster():
+    yield sim.timeout(200e-6)  # let the p2p stream get going
+    t0 = sim.now
+    yield from cluster.hw_broadcast(1, PAYLOAD)
+    events.append(("broadcast done", sim.now, sim.now - t0))
+
+
+sim.process(p2p())
+sim.process(bcaster())
+sim.run()
+for name, at, took in sorted(events, key=lambda e: e[1]):
+    print(f"  {name:16s} at {at * 1e6:9.1f} us (took {took * 1e6:7.1f} us)")
+print(f"  p2p traffic frozen {cluster.domain.freeze_count} time(s), "
+      f"{cluster.domain.total_frozen_s * 1e6:.1f} us total")
+from repro.vbus import usage_report  # noqa: E402
+
+print()
+print(usage_report(cluster, top=4))
+
+print(f"\n== 2. broadcast latency, {PAYLOAD} B to all nodes ==")
+
+
+def time_broadcast(params, use_hw):
+    cl = build_cluster(4, params=params)
+    rt = Mpi2Runtime(cl)
+    done = {}
+
+    def body(rank):
+        comm = rt.comm(rank)
+        data = np.zeros(PAYLOAD // 8) if rank == 0 else None
+        yield from comm.bcast(data, root=0)
+        done[rank] = cl.sim.now
+
+    for r in range(4):
+        cl.sim.process(body(r), name=f"r{r}")
+    cl.sim.run()
+    return max(done.values())
+
+
+t_vbus = time_broadcast(None, True)
+t_tree = time_broadcast(cluster_for(4, ClusterParams(vbus_broadcast=False)), False)
+t_ether = time_broadcast(cluster_for(4, ETHERNET_100), True)
+
+print(f"  V-Bus hardware broadcast : {t_vbus * 1e6:8.1f} us")
+print(f"  software binomial tree   : {t_tree * 1e6:8.1f} us"
+      f"  ({t_tree / t_vbus:.1f}x slower)")
+print(f"  Fast Ethernet (phys bus) : {t_ether * 1e6:8.1f} us"
+      f"  ({t_ether / t_vbus:.1f}x slower)")
+print("\nThe paper's claim: the V-Bus card delivers about 4x lower "
+      "latency than Fast Ethernet.")

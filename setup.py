@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so legacy
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

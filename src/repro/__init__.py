@@ -1,0 +1,60 @@
+"""repro — reproduction of the CLUSTER 2001 V-Bus PC-cluster programming environment.
+
+The package provides three layers, mirroring the paper:
+
+* :mod:`repro.vbus` — a discrete-event model of the V-Bus based PC-cluster
+  (SKWP wave-pipelined links, wormhole mesh routers, the virtual-bus
+  broadcast engine, NICs with DMA/PIO engines, and host CPUs), built on the
+  simulation kernel in :mod:`repro.sim`.
+* :mod:`repro.mpi2` — an MPI-2 library (two-sided, collectives, and
+  one-sided ``Put``/``Get`` on memory windows with fences and locks) whose
+  primitives execute on the simulated cluster.
+* :mod:`repro.compiler` — a Polaris-style parallelizing compiler for a
+  Fortran 77 subset: LMAD-based array access analysis, the Access Region
+  Test, and the MPI-2 postpass (AVPG, work partitioning, data
+  scattering/collecting, SPMDization, and fine/middle/coarse communication
+  granularity optimization).
+
+:mod:`repro.runtime` executes compiled SPMD programs on the simulated
+cluster and reports execution/communication time; :mod:`repro.workloads`
+holds the paper's benchmark programs (MM, SWIM-like, CFFZINIT-like).
+
+Quickstart::
+
+    from repro import compile_source, run_program
+    from repro.workloads import mm
+    prog = compile_source(mm.source(n=64), nprocs=4, granularity="coarse")
+    report = run_program(prog, nprocs=4)
+    print(report.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "__version__",
+    "CompileOptions",
+    "compile_source",
+    "run_program",
+    "run_sequential",
+]
+
+_LAZY = {
+    "CompileOptions": ("repro.compiler.pipeline", "CompileOptions"),
+    "compile_source": ("repro.compiler.pipeline", "compile_source"),
+    "run_program": ("repro.runtime.executor", "run_program"),
+    "run_sequential": ("repro.runtime.executor", "run_sequential"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the top-level convenience API (PEP 562)."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

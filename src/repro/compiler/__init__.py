@@ -1,0 +1,32 @@
+"""The Polaris-style parallelizing compiler with the MPI-2 postpass.
+
+Pipeline (paper Figures 1 and 6)::
+
+    Fortran 77 source
+      └─ frontend: lex / parse / symbol resolution / DO normalization /
+         induction substitution / inlining
+      └─ analysis: LMAD array-access analysis, summary sets, the Access
+         Region Test, reduction recognition, privatization  →  loops
+         marked PARALLEL
+      └─ postpass: MPI environment generation, AVPG construction and
+         redundant-communication elimination, work partitioning,
+         data scattering/collecting, SPMDization, communication
+         granularity optimization (fine / middle / coarse)
+      └─ codegen: an executable SPMD program for repro.runtime plus
+         readable Fortran77+MPI-2 pseudo-source
+
+Entry point: :func:`repro.compiler.pipeline.compile_source`.
+"""
+
+__all__ = ["CompileOptions", "compile_source"]
+
+
+def __getattr__(name):
+    """Lazy re-export so frontend modules import without the full pipeline."""
+    if name in __all__:
+        from repro.compiler import pipeline
+
+        value = getattr(pipeline, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

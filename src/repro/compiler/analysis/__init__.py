@@ -1,0 +1,25 @@
+"""Array access analysis: LMADs, summary sets, the Access Region Test,
+reduction recognition, privatization, and the parallelism-detection driver
+(the Polaris front end of the paper's Figure 1)."""
+
+from repro.compiler.analysis.lmad import LMAD, Dim
+from repro.compiler.analysis.intaffine import Affine, AffineError
+from repro.compiler.analysis.summary import (
+    READ_ONLY,
+    READ_WRITE,
+    WRITE_FIRST,
+    ArraySummary,
+    SummarySet,
+)
+
+__all__ = [
+    "Affine",
+    "AffineError",
+    "ArraySummary",
+    "Dim",
+    "LMAD",
+    "READ_ONLY",
+    "READ_WRITE",
+    "SummarySet",
+    "WRITE_FIRST",
+]

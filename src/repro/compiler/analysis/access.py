@@ -1,0 +1,204 @@
+"""Extract LMADs from array references inside loop nests (paper §4.1).
+
+The subscript tuple of a reference is linearized against the array's
+column-major layout into a single affine offset expression; every loop
+index with a non-zero coefficient contributes one LMAD dimension with
+stride ``coef * step`` and count ``niter``.  Non-affine subscripts fall
+back to a conservative whole-array descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.compiler.analysis.intaffine import Affine, affine_from_expr
+from repro.compiler.analysis.lmad import LMAD
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.lower import expr_as_int
+from repro.compiler.frontend.symtab import Symbol, SymbolTable
+
+__all__ = [
+    "AccessError",
+    "LoopCtx",
+    "loop_context",
+    "ref_lmad",
+    "ref_offset_affine",
+    "whole_array",
+]
+
+
+class AccessError(ValueError):
+    """Reference cannot be summarized even conservatively."""
+
+
+@dataclass(frozen=True)
+class LoopCtx:
+    """One enclosing loop with concrete (possibly widened) bounds.
+
+    ``exact`` is False when the bounds were widened to cover a
+    triangular/imperfect nest conservatively.
+    """
+
+    var: str
+    lo: int
+    hi: int
+    step: int
+    exact: bool = True
+
+    @property
+    def count(self) -> int:
+        if self.step > 0:
+            n = (self.hi - self.lo) // self.step + 1
+        else:
+            n = (self.lo - self.hi) // (-self.step) + 1
+        return max(0, n)
+
+    @property
+    def first(self) -> int:
+        return self.lo
+
+    def values(self) -> range:
+        return range(self.lo, self.hi + (1 if self.step > 0 else -1), self.step)
+
+
+def _affine_bound(
+    expr: F.Expr, outer: Sequence[LoopCtx], env: Mapping[str, int], want: str
+) -> Optional[int]:
+    """Min or max of an affine bound over the outer iteration space."""
+    aff = affine_from_expr(expr, env)
+    if aff is None:
+        return None
+    total = aff.const
+    by_var: Dict[str, LoopCtx] = {c.var: c for c in outer}
+    for v, coef in aff.terms.items():
+        ctx = by_var.get(v)
+        if ctx is None:
+            return None  # depends on a non-loop symbol with unknown value
+        exts = (ctx.lo, ctx.lo + ctx.step * (ctx.count - 1))
+        vals = (coef * exts[0], coef * exts[1])
+        total += min(vals) if want == "min" else max(vals)
+    return total
+
+
+def loop_context(
+    loop: F.Do,
+    outer: Sequence[LoopCtx] = (),
+    env: Optional[Mapping[str, int]] = None,
+) -> LoopCtx:
+    """Concrete bounds for a loop, widening over outer indices if needed."""
+    env = env or {}
+    step = expr_as_int(loop.step)
+    if step is None or step == 0:
+        raise AccessError(f"DO {loop.var}: non-constant step")
+    lo = expr_as_int(loop.lo)
+    hi = expr_as_int(loop.hi)
+    exact = True
+    if lo is None:
+        lo_aff = affine_from_expr(loop.lo, env)
+        if lo_aff is not None and lo_aff.is_const:
+            lo = lo_aff.const
+        else:
+            lo = _affine_bound(loop.lo, outer, env, "min" if step > 0 else "max")
+            exact = False
+    if hi is None:
+        hi_aff = affine_from_expr(loop.hi, env)
+        if hi_aff is not None and hi_aff.is_const:
+            hi = hi_aff.const
+        else:
+            hi = _affine_bound(loop.hi, outer, env, "max" if step > 0 else "min")
+            exact = False
+    if lo is None or hi is None:
+        raise AccessError(
+            f"DO {loop.var}: bounds not resolvable to integers "
+            f"({loop.lo} .. {loop.hi})"
+        )
+    return LoopCtx(var=loop.var, lo=lo, hi=hi, step=step, exact=exact)
+
+
+def whole_array(sym: Symbol) -> LMAD:
+    """Conservative descriptor covering the entire array."""
+    return LMAD.from_counts(sym.name, 0, [(1, sym.size)], exact=False)
+
+
+def ref_offset_affine(
+    ref: F.ArrayRef,
+    symtab: SymbolTable,
+    env: Optional[Mapping[str, int]] = None,
+) -> Optional[Affine]:
+    """The raw linearized offset of a reference as an affine expression.
+
+    Loop indices stay symbolic; returns None when any subscript is
+    non-affine.  This is the form the Access Region Test consumes.
+    """
+    sym = symtab.lookup(ref.name)
+    if sym is None or not sym.is_array:
+        raise AccessError(f"{ref.name} is not a declared array")
+    if len(ref.subs) != sym.rank:
+        raise AccessError(
+            f"{ref.name}: {len(ref.subs)} subscripts for rank {sym.rank}"
+        )
+    env = env or {}
+    offset = Affine.constant(0)
+    for sub, (lower, _), mult in zip(ref.subs, sym.dims, sym.multipliers()):
+        aff = affine_from_expr(sub, env)
+        if aff is None:
+            return None
+        offset = offset + (aff - Affine.constant(lower)).scale(mult)
+    return offset
+
+
+def ref_lmad(
+    ref: F.ArrayRef,
+    symtab: SymbolTable,
+    loops: Sequence[LoopCtx],
+    env: Optional[Mapping[str, int]] = None,
+) -> LMAD:
+    """The LMAD of one reference under the given enclosing loops.
+
+    ``env`` supplies integer values for non-loop scalars appearing in
+    subscripts; unresolvable subscripts yield the whole-array descriptor.
+    """
+    sym = symtab.lookup(ref.name)
+    if sym is None or not sym.is_array:
+        raise AccessError(f"{ref.name} is not a declared array")
+    if len(ref.subs) != sym.rank:
+        raise AccessError(
+            f"{ref.name}: {len(ref.subs)} subscripts for rank {sym.rank}"
+        )
+    env = env or {}
+
+    # Linearize: offset = Σ (sub_k - lower_k) * mult_k.
+    offset = Affine.constant(0)
+    mults = sym.multipliers()
+    for sub, (lower, _), mult in zip(ref.subs, sym.dims, mults):
+        aff = affine_from_expr(sub, env)
+        if aff is None:
+            return whole_array(sym)
+        offset = offset + (aff - Affine.constant(lower)).scale(mult)
+
+    loop_by_var = {c.var: c for c in loops}
+    # Any symbolic term that is not a loop index means we cannot pin the
+    # access down; fall back to the whole array.
+    for v in offset.vars():
+        if v not in loop_by_var:
+            return whole_array(sym)
+
+    base_env = {c.var: c.first for c in loops}
+    base = offset.evaluate(base_env)
+    dims: List[Tuple[int, int]] = []
+    indices: List[str] = []
+    exact = True
+    for c in loops:
+        coef = offset.coef(c.var)
+        if coef == 0 or c.count <= 1:
+            continue
+        dims.append((coef * c.step, c.count))
+        indices.append(c.var)
+        exact = exact and c.exact
+    lmad = LMAD.from_counts(sym.name, base, dims, indices, exact=exact)
+    if lmad.min_offset < 0 or lmad.max_offset >= sym.size:
+        # Widened (triangular) bounds can step outside the array; clamp to
+        # the whole array conservatively.
+        return whole_array(sym)
+    return lmad

@@ -1,0 +1,42 @@
+"""Scalar privatization (paper §3, ref [9]).
+
+A scalar that is written before any read within every iteration of a loop
+carries no value across iterations; giving each processor a private copy
+removes the (anti/output) dependences it would otherwise cause.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.compiler.analysis.summary import SummarySet
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.symtab import SymbolTable
+
+__all__ = ["find_private_scalars"]
+
+
+def find_private_scalars(
+    loop: F.Do,
+    body_summary: SummarySet,
+    exclude: Sequence[str] = (),
+) -> List[str]:
+    """Scalars privatizable for ``loop``: written, never exposed-read.
+
+    ``body_summary`` must be the summary of the loop *body* (one
+    iteration); ``exclude`` removes reduction variables, which are handled
+    separately.
+    """
+    excluded: Set[str] = set(exclude)
+    out = []
+    for s in body_summary.scalars.values():
+        if s.name in excluded:
+            continue
+        if s.written and not s.exposed_read:
+            out.append(s.name)
+    # Inner loop indices are private by construction.
+    for stmt in F.walk_stmts(loop.body):
+        if isinstance(stmt, F.Do) and stmt.var not in excluded:
+            if stmt.var not in out:
+                out.append(stmt.var)
+    return sorted(out)

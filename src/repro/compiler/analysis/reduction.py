@@ -1,0 +1,100 @@
+"""Reduction recognition (paper §3 lists it among the FE techniques).
+
+A scalar S is a reduction over a loop when every reference to S inside the
+loop body occurs in statements of the shape ``S = S op expr`` (op in +, -,
+*) or ``S = MAX(S, expr)`` / ``S = MIN(S, expr)``, with a consistent
+operator and with ``expr`` not reading S.  Such loops parallelize with
+per-rank partial results combined under a lock (§3: "Locks are useful ...
+reduction operations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.frontend import fast as F
+
+__all__ = ["find_reductions"]
+
+#: op name -> neutral element
+REDUCTION_IDENTITY = {"+": 0.0, "*": 1.0, "MAX": float("-inf"), "MIN": float("inf")}
+
+
+def _match_reduction_stmt(stmt: F.Stmt) -> Optional[Tuple[str, str, F.Expr]]:
+    """Match ``S = S op expr``; return (S, op, expr) or None."""
+    if not (isinstance(stmt, F.Assign) and isinstance(stmt.lhs, F.Var)):
+        return None
+    s = stmt.lhs.name
+    rhs = stmt.rhs
+    if isinstance(rhs, F.BinOp) and rhs.op in ("+", "-", "*"):
+        op = "+" if rhs.op in ("+", "-") else "*"
+        if isinstance(rhs.left, F.Var) and rhs.left.name == s:
+            expr = F.UnOp("-", rhs.right) if rhs.op == "-" else rhs.right
+            return s, op, expr
+        if rhs.op == "+" and isinstance(rhs.right, F.Var) and rhs.right.name == s:
+            return s, "+", rhs.left
+        if rhs.op == "*" and isinstance(rhs.right, F.Var) and rhs.right.name == s:
+            return s, "*", rhs.left
+    if isinstance(rhs, F.Intrinsic) and rhs.name in ("MAX", "MIN") and len(rhs.args) == 2:
+        a, b = rhs.args
+        if isinstance(a, F.Var) and a.name == s:
+            return s, rhs.name, b
+        if isinstance(b, F.Var) and b.name == s:
+            return s, rhs.name, a
+    return None
+
+
+def _reads_var(expr: F.Expr, name: str) -> bool:
+    return any(
+        isinstance(e, F.Var) and e.name == name for e in F.walk_exprs(expr)
+    )
+
+
+def find_reductions(loop: F.Do) -> List[Tuple[str, str]]:
+    """Reduction variables of a loop: list of (scalar name, op name)."""
+    candidates: Dict[str, str] = {}
+    disqualified = set()
+
+    for stmt in F.walk_stmts(loop.body):
+        if isinstance(stmt, F.Do) and stmt.var in candidates:
+            disqualified.add(stmt.var)
+        m = _match_reduction_stmt(stmt)
+        if m is not None:
+            s, op, expr = m
+            if _reads_var(expr, s):
+                disqualified.add(s)
+                continue
+            if s in candidates and candidates[s] != op:
+                disqualified.add(s)
+            else:
+                candidates[s] = op
+
+    # Any *other* appearance of a candidate disqualifies it.
+    for stmt in F.walk_stmts(loop.body):
+        m = _match_reduction_stmt(stmt)
+        for name in list(candidates):
+            if name in disqualified:
+                continue
+            if m is not None and m[0] == name:
+                continue  # this is the reduction statement itself
+            if isinstance(stmt, F.Assign):
+                if isinstance(stmt.lhs, F.Var) and stmt.lhs.name == name:
+                    disqualified.add(name)
+                elif _reads_var(stmt.rhs, name) or (
+                    isinstance(stmt.lhs, F.ArrayRef)
+                    and any(_reads_var(sub, name) for sub in stmt.lhs.subs)
+                ):
+                    disqualified.add(name)
+            elif isinstance(stmt, F.If) and _reads_var(stmt.cond, name):
+                disqualified.add(name)
+            elif isinstance(stmt, F.Do) and (
+                _reads_var(stmt.lo, name) or _reads_var(stmt.hi, name)
+            ):
+                disqualified.add(name)
+            elif isinstance(stmt, F.PrintStmt) and any(
+                not isinstance(i, F.Str) and _reads_var(i, name)
+                for i in stmt.items
+            ):
+                disqualified.add(name)
+
+    return [(s, op) for s, op in candidates.items() if s not in disqualified]

@@ -1,0 +1,14 @@
+"""Fortran 77 subset front end."""
+
+from repro.compiler.frontend.lexer import LexError, tokenize
+from repro.compiler.frontend.parser import ParseError, parse
+from repro.compiler.frontend.lower import LowerError, lower_program
+
+__all__ = [
+    "LexError",
+    "LowerError",
+    "ParseError",
+    "lower_program",
+    "parse",
+    "tokenize",
+]

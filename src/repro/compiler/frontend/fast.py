@@ -1,0 +1,283 @@
+"""AST / IR node definitions for the Fortran 77 subset.
+
+The same node classes serve as the parser's AST and (after
+:mod:`repro.compiler.frontend.lower` resolves parameters, normalizes DO
+loops, and substitutes induction variables) as the IR that the analysis
+and postpass phases operate on.  The analyses annotate :class:`Do` nodes
+in place (``parallel``, ``reductions``, ``private``), following Polaris's
+directive-annotation style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Num",
+    "Str",
+    "Var",
+    "ArrayRef",
+    "BinOp",
+    "UnOp",
+    "Intrinsic",
+    "RelOp",
+    "LogOp",
+    "Expr",
+    "Assign",
+    "Do",
+    "If",
+    "Call",
+    "PrintStmt",
+    "Stmt",
+    "Unit",
+    "Program",
+    "walk_exprs",
+    "walk_stmts",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Num:
+    """Numeric literal; ``is_int`` distinguishes 2 from 2.0/2D0."""
+
+    value: Union[int, float]
+    is_int: bool = True
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass
+class Str:
+    """String literal (only meaningful inside PRINT)."""
+
+    value: str
+
+    def __str__(self):
+        return f"'{self.value}'"
+
+
+@dataclass
+class Var:
+    """Scalar variable reference (or whole-array name in a CALL arg)."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass
+class ArrayRef:
+    """Subscripted array reference ``A(e1, e2, ...)``."""
+
+    name: str
+    subs: List["Expr"]
+
+    def __str__(self):
+        return f"{self.name}({', '.join(map(str, self.subs))})"
+
+
+@dataclass
+class BinOp:
+    """Arithmetic: ``+ - * / **``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class UnOp:
+    """Unary minus/plus."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self):
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class Intrinsic:
+    """Intrinsic function call: SQRT, SIN, COS, MOD, MAX, MIN, ..."""
+
+    name: str
+    args: List["Expr"]
+
+    def __str__(self):
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass
+class RelOp:
+    """Relational: .LT. .LE. .GT. .GE. .EQ. .NE. (stored as < <= > >= == /=)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class LogOp:
+    """Logical: .AND. .OR. .NOT. (``operand`` unused for binary forms)."""
+
+    op: str
+    left: Optional["Expr"] = None
+    right: Optional["Expr"] = None
+
+    def __str__(self):
+        if self.op == ".NOT.":
+            return f"(.NOT. {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Num, Str, Var, ArrayRef, BinOp, UnOp, Intrinsic, RelOp, LogOp]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """``lhs = rhs`` where lhs is a Var or ArrayRef."""
+
+    lhs: Union[Var, ArrayRef]
+    rhs: Expr
+
+
+@dataclass
+class Do:
+    """A DO loop (ENDDO or labelled-CONTINUE form, normalized by lower).
+
+    Analysis annotations:
+    ``parallel`` — marked by parallelism detection;
+    ``reductions`` — scalar reduction variables with their operator names;
+    ``private`` — privatized scalars (WriteFirst within an iteration).
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: Expr
+    body: List["Stmt"]
+    label: Optional[str] = None
+    # -- analysis annotations ------------------------------------------
+    parallel: bool = False
+    reductions: List[Tuple[str, str]] = field(default_factory=list)
+    private: List[str] = field(default_factory=list)
+    #: Stable id assigned by lower(); used by the AVPG and reports.
+    loop_id: int = -1
+
+
+@dataclass
+class If:
+    """IF/ELSE IF/ELSE/ENDIF (also represents one-line logical IF)."""
+
+    cond: Expr
+    then: List["Stmt"]
+    elifs: List[Tuple[Expr, List["Stmt"]]] = field(default_factory=list)
+    orelse: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Call:
+    """CALL subname(args) — inlined away by the front end."""
+
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class PrintStmt:
+    """PRINT *, items — executed on the master, for example programs."""
+
+    items: List[Expr]
+
+
+Stmt = Union[Assign, Do, If, Call, PrintStmt]
+
+
+# ---------------------------------------------------------------------------
+# Program structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Unit:
+    """One program unit: PROGRAM or SUBROUTINE."""
+
+    kind: str  # "program" | "subroutine"
+    name: str
+    args: List[str]
+    body: List[Stmt]
+    #: Attached by the parser; a frontend.symtab.SymbolTable.
+    symtab: object = None
+
+
+@dataclass
+class Program:
+    units: List[Unit]
+
+    @property
+    def main(self) -> Unit:
+        for u in self.units:
+            if u.kind == "program":
+                return u
+        raise ValueError("no PROGRAM unit")
+
+    def unit(self, name: str) -> Unit:
+        for u in self.units:
+            if u.name == name.upper():
+                return u
+        raise KeyError(f"no unit named {name}")
+
+
+# ---------------------------------------------------------------------------
+# Tree walking helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_exprs(node):
+    """Yield every expression node within an expression tree."""
+    yield node
+    if isinstance(node, (BinOp, RelOp)):
+        yield from walk_exprs(node.left)
+        yield from walk_exprs(node.right)
+    elif isinstance(node, LogOp):
+        if node.left is not None:
+            yield from walk_exprs(node.left)
+        if node.right is not None:
+            yield from walk_exprs(node.right)
+    elif isinstance(node, UnOp):
+        yield from walk_exprs(node.operand)
+    elif isinstance(node, (Intrinsic, ArrayRef)):
+        for a in (node.args if isinstance(node, Intrinsic) else node.subs):
+            yield from walk_exprs(a)
+
+
+def walk_stmts(stmts):
+    """Yield every statement in a body, depth-first, in execution order."""
+    for s in stmts:
+        yield s
+        if isinstance(s, Do):
+            yield from walk_stmts(s.body)
+        elif isinstance(s, If):
+            yield from walk_stmts(s.then)
+            for _c, blk in s.elifs:
+                yield from walk_stmts(blk)
+            yield from walk_stmts(s.orelse)

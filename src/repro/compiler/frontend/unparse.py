@@ -1,0 +1,122 @@
+"""Unparser: render an AST/IR back to Fortran 77 source.
+
+Used for debugging lowered programs and for the parse/unparse round-trip
+property tests (the unparsed text re-parses to a structurally identical
+tree).  Output is fixed-form-friendly: six-space statement indent,
+comment-safe, PARAMETER-free (lowering folds parameters away).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.symtab import SymbolTable
+
+__all__ = ["unparse_unit", "unparse_expr", "unparse_stmts"]
+
+_IND = "      "
+
+
+def unparse_expr(e: F.Expr) -> str:
+    if isinstance(e, F.Num):
+        if e.is_int:
+            return str(int(e.value))
+        v = repr(float(e.value))
+        return v if ("." in v or "e" in v or "E" in v) else v + ".0"
+    if isinstance(e, F.Str):
+        return f"'{e.value}'"
+    if isinstance(e, F.Var):
+        return e.name
+    if isinstance(e, F.ArrayRef):
+        return f"{e.name}({', '.join(unparse_expr(s) for s in e.subs)})"
+    if isinstance(e, F.BinOp):
+        return f"({unparse_expr(e.left)} {e.op} {unparse_expr(e.right)})"
+    if isinstance(e, F.UnOp):
+        return f"(-{unparse_expr(e.operand)})"
+    if isinstance(e, F.Intrinsic):
+        return f"{e.name}({', '.join(unparse_expr(a) for a in e.args)})"
+    if isinstance(e, F.RelOp):
+        dotted = {
+            "<": ".LT.", "<=": ".LE.", ">": ".GT.", ">=": ".GE.",
+            "==": ".EQ.", "/=": ".NE.",
+        }[e.op]
+        return f"({unparse_expr(e.left)} {dotted} {unparse_expr(e.right)})"
+    if isinstance(e, F.LogOp):
+        if e.op == ".NOT.":
+            return f"(.NOT. {unparse_expr(e.right)})"
+        return f"({unparse_expr(e.left)} {e.op} {unparse_expr(e.right)})"
+    raise TypeError(f"cannot unparse {e!r}")
+
+
+def unparse_stmts(stmts: List[F.Stmt], depth: int = 0) -> List[str]:
+    pad = _IND + "  " * depth
+    out: List[str] = []
+    for s in stmts:
+        if isinstance(s, F.Assign):
+            out.append(f"{pad}{unparse_expr(s.lhs)} = {unparse_expr(s.rhs)}")
+        elif isinstance(s, F.Do):
+            step = ""
+            if not (isinstance(s.step, F.Num) and s.step.value == 1):
+                step = f", {unparse_expr(s.step)}"
+            out.append(
+                f"{pad}DO {s.var} = {unparse_expr(s.lo)}, "
+                f"{unparse_expr(s.hi)}{step}"
+            )
+            out.extend(unparse_stmts(s.body, depth + 1))
+            out.append(f"{pad}ENDDO")
+        elif isinstance(s, F.If):
+            out.append(f"{pad}IF {unparse_expr(s.cond)} THEN")
+            out.extend(unparse_stmts(s.then, depth + 1))
+            for c, blk in s.elifs:
+                out.append(f"{pad}ELSE IF {unparse_expr(c)} THEN")
+                out.extend(unparse_stmts(blk, depth + 1))
+            if s.orelse:
+                out.append(f"{pad}ELSE")
+                out.extend(unparse_stmts(s.orelse, depth + 1))
+            out.append(f"{pad}ENDIF")
+        elif isinstance(s, F.PrintStmt):
+            items = ", ".join(unparse_expr(i) for i in s.items)
+            out.append(f"{pad}PRINT *{', ' + items if items else ''}")
+        elif isinstance(s, F.Call):
+            args = ", ".join(unparse_expr(a) for a in s.args)
+            out.append(f"{pad}CALL {s.name}({args})")
+        else:
+            raise TypeError(f"cannot unparse {s!r}")
+    return out
+
+
+def _declarations(symtab: SymbolTable) -> List[str]:
+    ints: List[str] = []
+    reals: List[str] = []
+    for sym in sorted(symtab, key=lambda s: s.name):
+        if sym.is_param:
+            continue
+        if sym.is_array:
+            dims = ", ".join(
+                str(hi) if lo == 1 else f"{lo}:{hi}" for lo, hi in sym.dims
+            )
+            entity = f"{sym.name}({dims})"
+        else:
+            entity = sym.name
+        (ints if sym.ftype == "INTEGER" else reals).append(entity)
+    out = []
+    if ints:
+        out.append(f"{_IND}INTEGER {', '.join(ints)}")
+    if reals:
+        out.append(f"{_IND}REAL*8 {', '.join(reals)}")
+    return out
+
+
+def unparse_unit(unit: F.Unit) -> str:
+    """Render a lowered unit back to compilable Fortran source."""
+    head = (
+        f"{_IND}PROGRAM {unit.name}"
+        if unit.kind == "program"
+        else f"{_IND}SUBROUTINE {unit.name}({', '.join(unit.args)})"
+    )
+    lines = [head]
+    lines.extend(_declarations(unit.symtab))
+    lines.extend(unparse_stmts(unit.body))
+    lines.append(f"{_IND}END")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,73 @@
+"""Top-level compiler entry points: source text in, SPMD program out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Set
+
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.compiler.postpass.driver import run_postpass
+from repro.compiler.postpass.granularity import GRAINS
+from repro.runtime.program import SpmdProgram
+
+__all__ = ["CompileOptions", "compile_source", "compile_file"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs of the MPI-2 postpass.
+
+    ``granularity`` selects the §5.6 communication grain (the paper leaves
+    the choice to the user); ``live_out=None`` treats every array as
+    observable at program end (AVPG dead-array elimination off — the safe
+    default), while an explicit set enables it.
+    """
+
+    nprocs: int = 4
+    granularity: str = "fine"
+    partition: str = "auto"  # auto | block | cyclic
+    parallelize: bool = True  # run detection (else trust directives only)
+    live_out: Optional[frozenset] = None
+    #: Disable the AVPG redundancy eliminations (ablation): every region
+    #: re-scatters its full read regions and collects all writes.
+    avpg: bool = True
+
+    def __post_init__(self):
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.granularity not in GRAINS:
+            raise ValueError(
+                f"granularity must be one of {GRAINS}, got {self.granularity!r}"
+            )
+        if self.partition not in ("auto", "block", "cyclic"):
+            raise ValueError(f"bad partition strategy {self.partition!r}")
+        if self.live_out is not None:
+            object.__setattr__(self, "live_out", frozenset(self.live_out))
+
+
+def compile_source(
+    source: str,
+    nprocs: int = 4,
+    granularity: str = "fine",
+    options: Optional[CompileOptions] = None,
+    **kwargs,
+) -> SpmdProgram:
+    """Compile Fortran 77 source into an SPMD program for the runtime.
+
+    Either pass a full :class:`CompileOptions` via ``options`` or use the
+    keyword shortcuts (``nprocs``, ``granularity``, plus any
+    CompileOptions field through ``kwargs``).
+    """
+    if options is None:
+        options = CompileOptions(
+            nprocs=nprocs, granularity=granularity, **kwargs
+        )
+    program = lower_program(parse(source))
+    return run_postpass(program.main, options)
+
+
+def compile_file(path: str, **kwargs) -> SpmdProgram:
+    """Compile a Fortran source file (see :func:`compile_source`)."""
+    with open(path, "r") as fh:
+        return compile_source(fh.read(), **kwargs)

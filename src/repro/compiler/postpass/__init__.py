@@ -1,0 +1,25 @@
+"""The MPI-2 postpass (paper §5, Figure 6): MPI environment generation,
+AVPG construction, work partitioning, data scattering/collecting,
+SPMDization, and communication granularity optimization."""
+
+from repro.compiler.postpass.partition import Partition, choose_strategy
+from repro.compiler.postpass.split import SplitLMAD, split_lmad
+from repro.compiler.postpass.granularity import (
+    COARSE,
+    FINE,
+    MIDDLE,
+    Transfer,
+    plan_transfers,
+)
+
+__all__ = [
+    "COARSE",
+    "FINE",
+    "MIDDLE",
+    "Partition",
+    "SplitLMAD",
+    "Transfer",
+    "choose_strategy",
+    "plan_transfers",
+    "split_lmad",
+]

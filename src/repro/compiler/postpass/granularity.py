@@ -1,0 +1,164 @@
+"""Communication granularity optimization (paper §5.6, Figure 9).
+
+Three grain levels turn one region LMAD into MPI-2 transfer plans:
+
+* **fine** — exact regions.  One primitive per ``A_offsets`` entry; the
+  primitive is contiguous (DMA) when the mapping stride is 1, strided
+  (programmed I/O) when it is larger.
+* **middle** — the mapping dimension's stride is forced to 1, turning each
+  exact strided pattern into its bounding contiguous run.  Same number of
+  transfers as fine, all contiguous DMA, at the cost of redundant bytes
+  (ratio ≈ the original mapping stride).
+* **coarse** — the whole region collapses to its single bounding
+  contiguous interval: one contiguous DMA transfer, maximum redundancy.
+
+The transfer-count formulas the paper states are properties here:
+fine/middle move ``prod_j>=2 (dj/aj + 1)`` messages, coarse moves 1 per
+region (i.e. per parallel chunk — ``dp/ap + 1`` across the machine).
+
+For data *collecting*, approximate regions may overwrite another rank's
+results or master data the slave never received; :func:`collect_demotion`
+implements (and extends, via exact masks) the paper's bound check that
+falls back to fine grain in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.analysis.lmad import LMAD
+from repro.compiler.postpass.split import split_lmad
+
+__all__ = [
+    "FINE",
+    "MIDDLE",
+    "COARSE",
+    "GRAINS",
+    "Transfer",
+    "plan_transfers",
+    "plan_bytes",
+    "collect_demotion",
+]
+
+FINE = "fine"
+MIDDLE = "middle"
+COARSE = "coarse"
+GRAINS = (FINE, MIDDLE, COARSE)
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One MPI_PUT/MPI_GET: ``count`` elements from ``offset`` every
+    ``stride`` elements.  ``stride == 1`` rides the DMA engine."""
+
+    offset: int
+    count: int
+    stride: int = 1
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("transfer needs at least one element")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+
+    @property
+    def contiguous(self) -> bool:
+        return self.stride == 1
+
+    @property
+    def last(self) -> int:
+        return self.offset + (self.count - 1) * self.stride
+
+    def indices(self) -> np.ndarray:
+        return self.offset + np.arange(self.count, dtype=np.int64) * self.stride
+
+
+def plan_transfers(lmad: LMAD, grain: str) -> List[Transfer]:
+    """The transfer plan for one region at one granularity."""
+    if grain not in GRAINS:
+        raise ValueError(f"unknown granularity {grain!r}; use {GRAINS}")
+    s = lmad.simplify()
+    if grain == COARSE:
+        return [Transfer(offset=s.min_offset, count=s.extent, stride=1)]
+    sp = split_lmad(s)
+    if sp.mapping.count <= 1:
+        return [Transfer(offset=o, count=1, stride=1) for o in sp.offsets]
+    if grain == FINE:
+        return [
+            Transfer(offset=o, count=sp.mapping.count, stride=sp.mapping.stride)
+            for o in sp.offsets
+        ]
+    # MIDDLE: bounding run of the mapping dimension, stride forced to 1.
+    run = sp.mapping.span + 1
+    return [Transfer(offset=o, count=run, stride=1) for o in sp.offsets]
+
+
+def plan_bytes(transfers: Sequence[Transfer], itemsize: int = 8) -> int:
+    return sum(t.count for t in transfers) * itemsize
+
+
+def plan_mask(transfers: Sequence[Transfer], size: int) -> np.ndarray:
+    m = np.zeros(size, dtype=bool)
+    for t in transfers:
+        if t.offset < 0 or t.last >= size:
+            raise ValueError(f"{t} outside array of size {size}")
+        m[t.indices()] = True
+    return m
+
+
+def collect_demotion(
+    write_lmads_by_rank: Dict[int, List[LMAD]],
+    scatter_masks_by_rank: Dict[int, np.ndarray],
+    grain: str,
+    size: int,
+) -> Tuple[str, Optional[str]]:
+    """Decide the safe collect granularity for one array.
+
+    Approximate (middle/coarse) collect regions are *inflated*: they carry
+    elements the rank did not write.  They are safe only when, for every
+    rank, the inflated extras hold current values on that rank — i.e. each
+    extra element was either scattered to the rank in this region or
+    written by the rank itself — and no two ranks' inflated regions
+    overlap except where their exact writes already coincide (which the
+    exactness of fine-grain writes rules out anyway).
+
+    Returns ``(grain_to_use, reason)`` where reason explains a demotion.
+    This is the paper's §5.6 upper/lower-bound check, made exact with
+    masks.
+    """
+    if grain == FINE:
+        return FINE, None
+
+    exact: Dict[int, np.ndarray] = {}
+    inflated: Dict[int, np.ndarray] = {}
+    for rank, lmads in write_lmads_by_rank.items():
+        ex = np.zeros(size, dtype=bool)
+        inf = np.zeros(size, dtype=bool)
+        for l in lmads:
+            ex |= l.mask(size)
+            inf |= plan_mask(plan_transfers(l, grain), size)
+        exact[rank] = ex
+        inflated[rank] = inf
+
+    ranks = sorted(write_lmads_by_rank)
+    for i, r1 in enumerate(ranks):
+        for r2 in ranks[i + 1 :]:
+            if (inflated[r1] & inflated[r2]).any():
+                return FINE, (
+                    f"{grain} regions of ranks {r1} and {r2} overlap"
+                )
+    for r in ranks:
+        extra = inflated[r] & ~exact[r]
+        held = scatter_masks_by_rank.get(r)
+        if held is None:
+            held = np.zeros(size, dtype=bool)
+        uncovered = extra & ~held
+        if uncovered.any():
+            return FINE, (
+                f"{grain} region of rank {r} would carry "
+                f"{int(uncovered.sum())} stale element(s)"
+            )
+    return grain, None

@@ -1,0 +1,113 @@
+"""Work partitioning (paper §5.3).
+
+Transforms a parallel loop into statically scheduled per-rank iteration
+sub-spaces: **block** assignment for rectangular loops, **cyclic** for
+triangular ones (where inner loop bounds depend on the parallel index, so
+block chunks would be badly imbalanced).  Every rank — master included —
+takes a share, matching the measured 4-node speedups above 3x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler.analysis.access import LoopCtx
+from repro.compiler.frontend import fast as F
+
+__all__ = ["Partition", "choose_strategy", "is_triangular"]
+
+
+def is_triangular(loop: F.Do) -> bool:
+    """True when an inner loop's bounds reference the parallel index."""
+    for stmt in F.walk_stmts(loop.body):
+        if isinstance(stmt, F.Do):
+            for bound in (stmt.lo, stmt.hi):
+                if any(
+                    isinstance(e, F.Var) and e.name == loop.var
+                    for e in F.walk_exprs(bound)
+                ):
+                    return True
+    return False
+
+
+def choose_strategy(loop: F.Do, requested: str = "auto") -> str:
+    """The paper's §5.3 policy: cyclic for triangular, block for square."""
+    if requested in ("block", "cyclic"):
+        return requested
+    if requested != "auto":
+        raise ValueError(f"unknown partition strategy {requested!r}")
+    return "cyclic" if is_triangular(loop) else "block"
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A parallel loop's iteration space divided over ``nprocs`` ranks."""
+
+    pctx: LoopCtx
+    nprocs: int
+    strategy: str  # "block" | "cyclic"
+
+    def __post_init__(self):
+        if self.strategy not in ("block", "cyclic"):
+            raise ValueError(f"bad strategy {self.strategy!r}")
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+
+    @property
+    def niters(self) -> int:
+        return self.pctx.count
+
+    def rank_ctx(self, rank: int) -> Optional[LoopCtx]:
+        """The sub-LoopCtx rank executes, or None when it gets nothing."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range")
+        p = self.pctx
+        n = self.niters
+        if n == 0:
+            return None
+        if self.strategy == "block":
+            chunk = math.ceil(n / self.nprocs)
+            t0 = rank * chunk
+            t1 = min(n, t0 + chunk) - 1
+            if t0 > t1:
+                return None
+            return LoopCtx(
+                var=p.var,
+                lo=p.lo + p.step * t0,
+                hi=p.lo + p.step * t1,
+                step=p.step,
+                exact=p.exact,
+            )
+        # cyclic: t = rank, rank + P, rank + 2P, ...
+        if rank >= n:
+            return None
+        last_t = rank + ((n - 1 - rank) // self.nprocs) * self.nprocs
+        return LoopCtx(
+            var=p.var,
+            lo=p.lo + p.step * rank,
+            hi=p.lo + p.step * last_t,
+            step=p.step * self.nprocs,
+            exact=p.exact,
+        )
+
+    def owner_of(self, value: int) -> int:
+        """Which rank executes the iteration with index value ``value``."""
+        p = self.pctx
+        t = (value - p.lo) // p.step
+        if not 0 <= t < self.niters or p.lo + p.step * t != value:
+            raise ValueError(f"{value} is not an iteration of {p}")
+        if self.strategy == "block":
+            chunk = math.ceil(self.niters / self.nprocs)
+            return t // chunk
+        return t % self.nprocs
+
+    def coverage(self) -> List[int]:
+        """All iteration values, each exactly once, across ranks (sorted)."""
+        vals: List[int] = []
+        for r in range(self.nprocs):
+            ctx = self.rank_ctx(r)
+            if ctx is not None:
+                vals.extend(ctx.values())
+        return sorted(vals)

@@ -1,0 +1,46 @@
+"""An MPI-2 library running on the simulated V-Bus cluster (paper §2.2).
+
+The API follows mpi4py conventions adapted to the simulation kernel: every
+communication primitive is a *generator* that a rank process drives with
+``yield from``.  Lower-case methods move Python objects; capitalized
+methods move numpy buffers with explicit byte accounting.
+
+Two-sided (MPI-1 subset)
+    ``send/recv/isend/irecv/sendrecv/probe`` on :class:`Comm`.
+
+Collectives
+    ``barrier, bcast, scatter, gather, allgather, reduce, allreduce`` —
+    ``bcast`` uses the V-Bus hardware broadcast when the cluster has one,
+    otherwise a binomial software tree (the ablation in
+    ``benchmarks/bench_ablation_collectives.py`` compares the two).
+
+One-sided (the MPI-2 extension the compiler targets)
+    :class:`Win` memory windows with ``put/get/accumulate`` in contiguous
+    (DMA) and strided (programmed-I/O) flavours, ``fence`` epochs, and
+    ``lock/unlock`` — exactly the primitive set the MPI-2 postpass emits.
+"""
+
+from repro.mpi2.comm import ANY_SOURCE, ANY_TAG, Comm, Mpi2Runtime
+from repro.mpi2.datatypes import Contiguous, Vector
+from repro.mpi2.exceptions import MpiError
+from repro.mpi2.ops import MAX, MIN, PROD, SUM
+from repro.mpi2.request import Request
+from repro.mpi2.status import Status
+from repro.mpi2.window import Win
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "Contiguous",
+    "Vector",
+    "MAX",
+    "MIN",
+    "MpiError",
+    "Mpi2Runtime",
+    "PROD",
+    "Request",
+    "SUM",
+    "Status",
+    "Win",
+]

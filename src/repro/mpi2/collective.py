@@ -1,0 +1,224 @@
+"""Collective operations (mixin for :class:`repro.mpi2.comm.Comm`).
+
+``bcast`` rides the V-Bus hardware broadcast when the cluster provides one
+— the paper's §2.2 "we optimize the collective communication ... by making
+use of the collective facilities of a V-Bus network card" — and falls back
+to a binomial software tree otherwise.  All other collectives are built
+from point-to-point transfers through the master-centric patterns the
+compiler's data scattering/collecting scheme uses.
+
+Collective calls match across ranks *by call ordinal* (SPMD programs issue
+collectives in identical order on every rank); calling different
+collectives at the same ordinal raises :class:`MpiError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.mpi2.exceptions import MpiError
+from repro.mpi2.ops import ReduceOp
+from repro.sim import Event
+
+__all__ = ["CollectiveMixin"]
+
+#: Wire size of a zero-payload control message (barrier tokens etc.).
+CONTROL_BYTES = 4
+
+
+class _Slot:
+    """Rendezvous state for one collective call ordinal."""
+
+    def __init__(self, kind: str, size: int, sim):
+        self.kind = kind
+        self.size = size
+        self.arrived = 0
+        self.finished = 0
+        self.data: dict = {}
+        self.arrival_event = Event(sim)
+        self.release_event = Event(sim)
+        self.ready = [Event(sim) for _ in range(size)]
+
+
+class CollectiveMixin:
+    """Collectives; mixed into ``Comm`` (relies on its plumbing)."""
+
+    # -- slot management ------------------------------------------------------
+    def _slot(self, kind: str) -> _Slot:
+        ordinal = self._coll_ordinal
+        self._coll_ordinal += 1
+        slots = self._state.slots
+        if ordinal not in slots:
+            slots[ordinal] = _Slot(kind, self.size, self.sim)
+        slot = slots[ordinal]
+        if slot.kind != kind:
+            raise MpiError(
+                f"collective mismatch at ordinal {ordinal}: rank {self.rank} "
+                f"called {kind!r} but another rank called {slot.kind!r}"
+            )
+        return slot
+
+    def _finish(self, slot: _Slot, ordinal_offset: int = 1) -> None:
+        slot.finished += 1
+        if slot.finished == slot.size:
+            # All ranks done with this ordinal; free it.
+            for key, val in list(self._state.slots.items()):
+                if val is slot:
+                    del self._state.slots[key]
+                    break
+
+    # -- barrier -----------------------------------------------------------
+    def barrier(self, root: int = 0) -> Generator:
+        """Master/slave barrier: gather tokens at root, broadcast release."""
+        self._check_rank(root, "root")
+        slot = self._slot("barrier")
+        t0 = self.sim.now
+        if self.size > 1:
+            if self.rank != root:
+                yield from self._transfer(root, CONTROL_BYTES)
+            slot.arrived += 1
+            if slot.arrived == slot.size:
+                slot.arrival_event.succeed()
+            if self.rank == root:
+                yield slot.arrival_event
+                if self._state.cluster.has_hw_broadcast:
+                    yield from self._hw_broadcast(CONTROL_BYTES)
+                else:
+                    for r in range(self.size):
+                        if r != root:
+                            yield from self._transfer(r, CONTROL_BYTES)
+                slot.release_event.succeed()
+            else:
+                yield slot.release_event
+        self.comm_s += self.sim.now - t0
+        self._finish(slot)
+
+    Barrier = barrier
+
+    # -- broadcast -----------------------------------------------------------
+    def bcast(self, obj: Any = None, root: int = 0) -> Generator:
+        """Broadcast; V-Bus hardware bus when available, binomial tree else."""
+        self._check_rank(root, "root")
+        slot = self._slot("bcast")
+        t0 = self.sim.now
+        if self.size == 1:
+            result = obj
+        elif self._state.cluster.has_hw_broadcast:
+            if self.rank == root:
+                from repro.mpi2.comm import copy_payload, payload_nbytes
+
+                slot.data["payload"] = copy_payload(obj)
+                yield from self._hw_broadcast(payload_nbytes(obj))
+                slot.release_event.succeed()
+                result = obj
+            else:
+                yield slot.release_event
+                from repro.mpi2.comm import copy_payload
+
+                result = copy_payload(slot.data["payload"])
+        else:
+            result = yield from self._bcast_tree(obj, root, slot)
+        self.comm_s += self.sim.now - t0
+        self._finish(slot)
+        return result
+
+    def _bcast_tree(self, obj: Any, root: int, slot: _Slot) -> Generator:
+        """Binomial-tree software broadcast (the no-V-Bus baseline)."""
+        from repro.mpi2.comm import copy_payload, payload_nbytes
+
+        size = self.size
+        vrank = (self.rank - root) % size
+        if vrank == 0:
+            payload = copy_payload(obj)
+        else:
+            payload = yield slot.ready[self.rank]
+        nbytes = payload_nbytes(payload)
+        mask = 1
+        while mask < size:
+            if mask > vrank and vrank + mask < size:
+                child = (vrank + mask + root) % size
+                yield from self._transfer(child, nbytes)
+                slot.ready[child].succeed(copy_payload(payload))
+            mask <<= 1
+        return payload
+
+    Bcast = bcast
+
+    # -- scatter / gather ---------------------------------------------------
+    def scatter(self, sendobjs: Optional[List[Any]] = None, root: int = 0) -> Generator:
+        """Root distributes ``sendobjs[r]`` to each rank ``r``."""
+        self._check_rank(root, "root")
+        slot = self._slot("scatter")
+        t0 = self.sim.now
+        from repro.mpi2.comm import copy_payload, payload_nbytes
+
+        if self.rank == root:
+            if sendobjs is None or len(sendobjs) != self.size:
+                raise MpiError(
+                    f"scatter root needs a list of exactly {self.size} items"
+                )
+            result = copy_payload(sendobjs[root])
+            for r in range(self.size):
+                if r == root:
+                    continue
+                item = sendobjs[r]
+                yield from self._transfer(r, payload_nbytes(item))
+                slot.ready[r].succeed(copy_payload(item))
+        else:
+            result = yield slot.ready[self.rank]
+        self.comm_s += self.sim.now - t0
+        self._finish(slot)
+        return result
+
+    Scatter = scatter
+
+    def gather(self, obj: Any, root: int = 0) -> Generator:
+        """Every rank contributes; root returns the rank-ordered list."""
+        self._check_rank(root, "root")
+        slot = self._slot("gather")
+        t0 = self.sim.now
+        from repro.mpi2.comm import copy_payload, payload_nbytes
+
+        slot.data[self.rank] = copy_payload(obj)
+        if self.rank != root:
+            yield from self._transfer(root, payload_nbytes(obj))
+        slot.arrived += 1
+        if slot.arrived == slot.size:
+            slot.arrival_event.succeed()
+        if self.rank == root:
+            yield slot.arrival_event
+            result = [slot.data[r] for r in range(self.size)]
+        else:
+            result = None
+        self.comm_s += self.sim.now - t0
+        self._finish(slot)
+        return result
+
+    Gather = gather
+
+    def allgather(self, obj: Any) -> Generator:
+        """Gather to rank 0, then broadcast the assembled list."""
+        gathered = yield from self.gather(obj, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        return result
+
+    Allgather = allgather
+
+    # -- reductions ----------------------------------------------------------
+    def reduce(self, value: Any, op: ReduceOp, root: int = 0) -> Generator:
+        """Reduce to root; returns the folded value at root, None elsewhere."""
+        if not isinstance(op, ReduceOp):
+            raise MpiError(f"op must be a ReduceOp, got {op!r}")
+        contributions = yield from self.gather(value, root)
+        if self.rank != root:
+            return None
+        return op.reduce_all(contributions)
+
+    Reduce = reduce
+
+    def allreduce(self, value: Any, op: ReduceOp) -> Generator:
+        folded = yield from self.reduce(value, op, root=0)
+        result = yield from self.bcast(folded, root=0)
+        return result
+
+    Allreduce = allreduce

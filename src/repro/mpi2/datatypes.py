@@ -1,0 +1,110 @@
+"""MPI derived datatypes (subset): contiguous and vector types.
+
+The MPI-2 standard expresses strided one-sided transfers through derived
+datatypes (``MPI_Type_vector``); the paper's "stride MPI_PUT/MPI_GET"
+is exactly a vector-typed put.  This module provides the descriptor
+algebra — element counts, extents, flat index generation — and the
+mapping onto the hardware transfer modes:
+
+* a contiguous type (or a vector whose stride equals its blocklength)
+  rides the DMA engine as one transfer;
+* a vector with blocklength 1 is one strided (programmed-I/O) transfer;
+* a general vector decomposes into one contiguous DMA transfer per
+  block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mpi2.exceptions import MpiError
+
+__all__ = ["Contiguous", "Vector", "Datatype"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """Base class: a pattern of ``size`` elements within ``extent`` slots."""
+
+    def indices(self, offset: int = 0) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Number of elements the type transfers."""
+        raise NotImplementedError
+
+    @property
+    def extent(self) -> int:
+        """Span of slots from first to one-past-last element."""
+        raise NotImplementedError
+
+    def segments(self) -> List[Tuple[int, int, int]]:
+        """Hardware decomposition: (rel_offset, count, stride) pieces."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Contiguous(Datatype):
+    """``count`` consecutive elements (MPI_Type_contiguous)."""
+
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise MpiError("count must be >= 1")
+
+    @property
+    def size(self) -> int:
+        return self.count
+
+    @property
+    def extent(self) -> int:
+        return self.count
+
+    def indices(self, offset: int = 0) -> np.ndarray:
+        return offset + np.arange(self.count, dtype=np.int64)
+
+    def segments(self):
+        return [(0, self.count, 1)]
+
+
+@dataclass(frozen=True)
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` elements every ``stride`` slots
+    (MPI_Type_vector)."""
+
+    count: int
+    blocklength: int
+    stride: int
+
+    def __post_init__(self):
+        if self.count < 1 or self.blocklength < 1:
+            raise MpiError("count and blocklength must be >= 1")
+        if self.stride < self.blocklength:
+            raise MpiError("stride must be >= blocklength (no overlap)")
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklength
+
+    @property
+    def extent(self) -> int:
+        return (self.count - 1) * self.stride + self.blocklength
+
+    def indices(self, offset: int = 0) -> np.ndarray:
+        block = np.arange(self.blocklength, dtype=np.int64)
+        starts = np.arange(self.count, dtype=np.int64) * self.stride
+        return offset + (starts[:, None] + block[None, :]).ravel()
+
+    def segments(self):
+        if self.stride == self.blocklength:
+            return [(0, self.size, 1)]  # degenerate: one dense run
+        if self.blocklength == 1:
+            return [(0, self.count, self.stride)]  # one strided transfer
+        return [
+            (b * self.stride, self.blocklength, 1) for b in range(self.count)
+        ]

@@ -1,0 +1,6 @@
+"""MPI error type."""
+
+
+class MpiError(RuntimeError):
+    """Raised for misuse of the MPI-2 API (bad ranks, mismatched collectives,
+    operations outside an access epoch, ...)."""

@@ -1,0 +1,39 @@
+"""Reduction operations for Reduce/Allreduce (MPI_Op subset)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SUM", "PROD", "MIN", "MAX", "ReduceOp"]
+
+
+class ReduceOp:
+    """A named, associative binary reduction."""
+
+    def __init__(self, name: str, fn, identity):
+        self.name = name
+        self.fn = fn
+        self.identity = identity
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def reduce_all(self, values):
+        """Fold an iterable of values (numpy-aware)."""
+        it = iter(values)
+        try:
+            acc = next(it)
+        except StopIteration:
+            return self.identity
+        for v in it:
+            acc = self.fn(acc, v)
+        return acc
+
+    def __repr__(self):
+        return f"<ReduceOp {self.name}>"
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b, 0)
+PROD = ReduceOp("PROD", lambda a, b: a * b, 1)
+MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b), float("inf"))
+MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b), float("-inf"))

@@ -1,0 +1,33 @@
+"""Nonblocking request handles (MPI_Request)."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim import Process
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle to an in-flight nonblocking operation.
+
+    Wraps the simulation process executing the operation; ``wait`` is a
+    generator the owning rank drives with ``yield from``.
+    """
+
+    def __init__(self, process: Process):
+        self._process = process
+
+    @property
+    def complete(self) -> bool:
+        return self._process.triggered
+
+    def wait(self) -> Generator:
+        """Block until the operation finishes; returns its result."""
+        result = yield self._process
+        return result
+
+    def test(self) -> bool:
+        """Nonblocking completion check."""
+        return self.complete

@@ -1,0 +1,14 @@
+"""Receive status, mirroring MPI_Status."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Status:
+    """Source, tag, and byte count of a received message."""
+
+    source: int
+    tag: int
+    count_bytes: int

@@ -1,0 +1,7 @@
+"""Runtime: executes compiled SPMD programs on the simulated cluster."""
+
+from repro.runtime.program import SpmdProgram
+from repro.runtime.report import RunReport
+from repro.runtime.executor import run_program, run_sequential
+
+__all__ = ["RunReport", "SpmdProgram", "run_program", "run_sequential"]

@@ -1,0 +1,370 @@
+"""The SPMD executor: master/slave execution of compiled programs.
+
+Each rank is a simulation process walking the program's region tree:
+
+* **sequential regions** — the master executes the statements; the
+  scalar environment is then broadcast so every rank agrees on
+  subsequent control flow (the paper's barrier-delimited master section);
+* **parallel regions** — scatter (master one-sided puts, or a V-Bus
+  broadcast when the plan detected identical slave regions), fence,
+  partitioned compute, reduction combine under ``MPI_WIN_LOCK`` /
+  ``MPI_ACCUMULATE``, collect (slave puts to the master), fence, barrier;
+* **replicated control** (serial loops / IFs around parallel regions) —
+  every rank evaluates the bounds/condition on its synchronized scalars.
+
+``execute=False`` runs the same communication schedule and cost model
+without numeric work (timing mode for the large benchmark sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.compiler.frontend import fast as F
+from repro.compiler.postpass.spmd import (
+    IfRegion,
+    ParRegion,
+    SeqBlock,
+    SeqLoop,
+)
+from repro.mpi2 import MAX, MIN, Mpi2Runtime, PROD, SUM
+from repro.mpi2.window import Win
+from repro.runtime.interp import Interpreter
+from repro.runtime.memory import RankMemory
+from repro.runtime.program import SpmdProgram
+from repro.runtime.report import RunReport
+from repro.vbus import build_cluster
+from repro.vbus.params import ClusterParams
+
+__all__ = ["run_program", "run_sequential", "ExecutionError"]
+
+_OPMAP = {"+": SUM, "*": PROD, "MAX": MAX, "MIN": MIN}
+_IDENTITY = {"+": 0.0, "*": 1.0, "MAX": float("-inf"), "MIN": float("inf")}
+
+
+class ExecutionError(RuntimeError):
+    """Runtime failure while executing an SPMD program."""
+
+
+class _Execution:
+    def __init__(
+        self,
+        program: SpmdProgram,
+        cluster_params: Optional[ClusterParams],
+        execute: bool,
+        init: Optional[Dict[str, np.ndarray]],
+    ):
+        self.program = program
+        self.execute = execute
+        nprocs = program.nprocs
+        self.cluster = build_cluster(nprocs, params=cluster_params)
+        self.sim = self.cluster.sim
+        self.runtime = Mpi2Runtime(self.cluster)
+        self.comms = [self.runtime.comm(r) for r in range(nprocs)]
+        self.memories = [
+            RankMemory(program.symtab, r) for r in range(nprocs)
+        ]
+        if init:
+            for name, values in init.items():
+                self.memories[0].load(name, values)
+        self.interps = [
+            Interpreter(
+                self.memories[r],
+                program.symtab,
+                self.cluster.params.cpu,
+                execute=execute,
+            )
+            for r in range(nprocs)
+        ]
+        # One window per array accessed remotely.
+        self.wins: Dict[str, List[Win]] = {}
+        for name in program.env.window_arrays:
+            buffers = [self.memories[r].arrays[name] for r in range(nprocs)]
+            self.wins[name] = Win.create(self.comms, buffers)
+        # A scalar window for reductions (and any replicated scalar).
+        red_names = sorted(
+            {
+                s
+                for region in program.parallel_regions()
+                for s, _op in region.loop.reductions
+            }
+        )
+        self.red_slots = {name: i for i, name in enumerate(red_names)}
+        red_buffers = [
+            np.zeros(max(1, len(red_names))) for _ in range(nprocs)
+        ]
+        self.redwin = Win.create(self.comms, red_buffers)
+        # Dynamic counters.
+        self.scatter_messages = 0
+        self.scatter_bytes = 0
+        self.collect_messages = 0
+        self.collect_bytes = 0
+        #: region_id -> [visits, elapsed_s] measured on the master.
+        self.region_profile: Dict[int, list] = {}
+
+    # -- helpers ---------------------------------------------------------
+    def _compute(self, rank: int, overhead: float = 0.0):
+        seconds = self.interps[rank].take_seconds() * (1.0 + overhead)
+        if seconds > 0:
+            return self.cluster.hosts[rank].compute_seconds(seconds)
+        return self.sim.timeout(0.0)
+
+    def _payload(self, rank: int, name: str, t, itemsize: int):
+        if not self.execute:
+            return None
+        return self.memories[rank].arrays[name][t.indices()]
+
+    def _sync_env(self, rank: int):
+        """Master broadcasts the replicated scalar environment."""
+        names = self.program.env.replicated_scalars
+        payload = None
+        if rank == 0:
+            payload = {n: self.memories[0].scalars[n] for n in names}
+        data = yield from self.comms[rank].bcast(payload, root=0)
+        if rank != 0 and data:
+            self.memories[rank].scalars.update(data)
+
+    def _fence_all(self, rank: int, names):
+        """Drain the named windows, then one shared barrier."""
+        for name in names:
+            yield from self.wins[name][rank].drain()
+        yield from self.redwin[rank].drain()
+        yield from self.comms[rank].barrier()
+
+    # -- region walkers ----------------------------------------------------
+    def run_rank(self, rank: int):
+        yield from self._run_regions(rank, self.program.regions)
+
+    def _run_regions(self, rank: int, regions):
+        for region in regions:
+            t0 = self.sim.now
+            if isinstance(region, SeqBlock):
+                yield from self._seq_block(rank, region)
+            elif isinstance(region, ParRegion):
+                yield from self._par_region(rank, region)
+            elif isinstance(region, SeqLoop):
+                yield from self._seq_loop(rank, region)
+            elif isinstance(region, IfRegion):
+                yield from self._if_region(rank, region)
+            if rank == 0 and not isinstance(region, (SeqLoop, IfRegion)):
+                cell = self.region_profile.setdefault(region.region_id, [0, 0.0])
+                cell[0] += 1
+                cell[1] += self.sim.now - t0
+
+    def _seq_block(self, rank: int, region: SeqBlock):
+        if rank == 0:
+            self.interps[0].exec_stmts(region.stmts, {})
+            yield self._compute(0)
+        yield from self._sync_env(rank)
+
+    def _seq_loop(self, rank: int, region: SeqLoop):
+        interp = self.interps[rank]
+        loop = region.loop
+        lo = int(interp.eval(loop.lo, {}))
+        hi = int(interp.eval(loop.hi, {}))
+        step = int(interp.eval(loop.step, {}))
+        niter = max(0, (hi - lo) // step + 1 if (hi - lo) * step >= 0 else 0)
+        v = lo
+        for _ in range(niter):
+            self.memories[rank].scalars[loop.var] = v
+            yield from self._run_regions(rank, region.body)
+            v += step
+        self.memories[rank].scalars[loop.var] = v
+
+    def _if_region(self, rank: int, region: IfRegion):
+        interp = self.interps[rank]
+        if bool(interp.eval(region.cond, {})):
+            yield from self._run_regions(rank, region.then)
+            return
+        for c, blk in region.elifs:
+            if bool(interp.eval(c, {})):
+                yield from self._run_regions(rank, blk)
+                return
+        yield from self._run_regions(rank, region.orelse)
+
+    # -- the parallel region protocol -----------------------------------------
+    def _par_region(self, rank: int, region: ParRegion):
+        program = self.program
+        plan = program.plans[region.region_id]
+        partition = region.partition
+        loop = region.loop
+        comm = self.comms[rank]
+        mem = self.memories[rank]
+        win_names = sorted(plan.arrays)
+
+        # Scalars slaves need (loop bounds, coefficients, ...).
+        yield from self._sync_env(rank)
+
+        # ---- data scattering -------------------------------------------------
+        for name in win_names:
+            aplan = plan.arrays[name]
+            if aplan.scatter_bcast:
+                transfers = next(iter(aplan.scatter.values()))
+                for t in transfers:
+                    payload = (
+                        self._payload(0, name, t, aplan.itemsize)
+                        if rank == 0
+                        else None
+                    )
+                    if payload is None and rank == 0:
+                        payload = np.empty(t.count, dtype=f"f{aplan.itemsize}")
+                    data = yield from comm.bcast(payload, root=0)
+                    if rank != 0 and self.execute:
+                        mem.arrays[name][t.indices()] = data
+                    if rank == 0:
+                        self.scatter_messages += 1
+                        self.scatter_bytes += t.count * aplan.itemsize
+            elif rank == 0:
+                win = self.wins[name][0]
+                for r, transfers in sorted(aplan.scatter.items()):
+                    for t in transfers:
+                        data = self._payload(0, name, t, aplan.itemsize)
+                        yield from win.put(
+                            data,
+                            target=r,
+                            offset=t.offset,
+                            stride=t.stride,
+                            count=t.count,
+                            itemsize=aplan.itemsize,
+                        )
+                        self.scatter_messages += 1
+                        self.scatter_bytes += t.count * aplan.itemsize
+        yield from self._fence_all(rank, win_names)
+
+        # ---- compute -----------------------------------------------------
+        reductions = loop.reductions
+        if reductions and rank == 0:
+            # Seed the combine slots with the master's live-in values.
+            for s, op in reductions:
+                self.redwin[0].local[self.red_slots[s]] = mem.scalars.get(
+                    s, _IDENTITY[op]
+                )
+        for s, op in reductions:
+            mem.scalars[s] = _IDENTITY[op]
+
+        rctx = partition.rank_ctx(rank)
+        if rctx is not None:
+            interp = self.interps[rank]
+            interp.run_loop(loop, {}, bounds=(rctx.lo, rctx.hi, rctx.step))
+            yield self._compute(
+                rank, overhead=self.cluster.params.cpu.spmd_compute_overhead
+            )
+
+        # ---- reduction combine (lock + accumulate on the master) -----------
+        for s, op in reductions:
+            partial = mem.scalars.get(s, _IDENTITY[op])
+            win = self.redwin[rank]
+            yield from win.lock(0)
+            yield from win.accumulate(
+                np.array([partial]),
+                target=0,
+                op=_OPMAP[op],
+                offset=self.red_slots[s],
+            )
+            win.unlock(0)
+
+        # ---- data collecting ---------------------------------------------
+        for name in win_names:
+            aplan = plan.arrays[name]
+            transfers = aplan.collect.get(rank, [])
+            win = self.wins[name][rank]
+            for t in transfers:
+                data = self._payload(rank, name, t, aplan.itemsize)
+                yield from win.put(
+                    data,
+                    target=0,
+                    offset=t.offset,
+                    stride=t.stride,
+                    count=t.count,
+                    itemsize=aplan.itemsize,
+                )
+                self.collect_messages += 1
+                self.collect_bytes += t.count * aplan.itemsize
+        yield from self._fence_all(rank, win_names)
+
+        # Master folds the combined reductions back into its scalars.
+        if rank == 0:
+            for s, _op in reductions:
+                mem.scalars[s] = float(self.redwin[0].local[self.red_slots[s]])
+        if reductions:
+            yield from self._sync_env(rank)
+
+    # -- reporting --------------------------------------------------------
+    def report(self) -> RunReport:
+        program = self.program
+        rep = RunReport(
+            nprocs=program.nprocs,
+            granularity=program.options.granularity,
+            total_s=self.sim.now,
+        )
+        for r in range(program.nprocs):
+            rep.compute_s[r] = self.cluster.hosts[r].compute_s
+            rep.comm_s[r] = self.comms[r].comm_s
+            rep.comm_cpu_s[r] = self.cluster.hosts[r].comm_cpu_s
+            rep.fence_wait_s[r] = sum(
+                wins[r].fence_wait_s for wins in self.wins.values()
+            ) + self.redwin[r].fence_wait_s
+        rep.hw = self.cluster.stats()
+        rep.scatter_messages = self.scatter_messages
+        rep.scatter_bytes = self.scatter_bytes
+        rep.collect_messages = self.collect_messages
+        rep.collect_bytes = self.collect_bytes
+        for wins in list(self.wins.values()) + [self.redwin]:
+            for w in wins:
+                rep.strided_transfers += w.puts_strided + w.gets_strided
+                rep.contiguous_transfers += w.puts_contig + w.gets_contig
+        rep.stdout = list(self.interps[0].prints)
+        rep.memory = self.memories[0]
+        rep.region_profile = {
+            rid: (visits, elapsed)
+            for rid, (visits, elapsed) in sorted(self.region_profile.items())
+        }
+        return rep
+
+
+def run_program(
+    program: SpmdProgram,
+    cluster_params: Optional[ClusterParams] = None,
+    execute: bool = True,
+    init: Optional[Dict[str, np.ndarray]] = None,
+) -> RunReport:
+    """Run a compiled SPMD program on a freshly built simulated cluster.
+
+    ``execute=False`` skips numeric array work (timing mode); ``init``
+    preloads master arrays (name -> ndarray in the declared shape).
+    """
+    ex = _Execution(program, cluster_params, execute, init)
+    for r in range(program.nprocs):
+        ex.sim.process(ex.run_rank(r), name=f"rank{r}")
+    ex.sim.run()
+    return ex.report()
+
+
+def run_sequential(
+    program: SpmdProgram,
+    cluster_params: Optional[ClusterParams] = None,
+    execute: bool = True,
+    init: Optional[Dict[str, np.ndarray]] = None,
+) -> RunReport:
+    """Run the *original* (pre-SPMD) program on one simulated PC.
+
+    The baseline for the paper's speedup numbers.
+    """
+    params = cluster_params.cpu if cluster_params is not None else None
+    from repro.vbus.params import CpuParams
+
+    cpu = params or CpuParams()
+    mem = RankMemory(program.symtab, 0)
+    if init:
+        for name, values in init.items():
+            mem.load(name, values)
+    interp = Interpreter(mem, program.symtab, cpu, execute=execute)
+    interp.exec_stmts(program.unit.body, {})
+    rep = RunReport(nprocs=1, granularity="n/a")
+    rep.total_s = interp.cycles / cpu.clock_hz
+    rep.compute_s[0] = rep.total_s
+    rep.stdout = list(interp.prints)
+    rep.memory = mem
+    return rep

@@ -1,0 +1,73 @@
+"""Per-rank memory: flat column-major arrays plus a scalar environment.
+
+Matches the paper's target-code memory model: *all data declared are
+intrinsically private* — every rank allocates every window array at full
+size; the master's copy is the reference and scatter/collect keep slave
+copies coherent at region boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.frontend.symtab import Symbol, SymbolTable
+
+__all__ = ["RankMemory"]
+
+
+def _dtype_for(sym: Symbol):
+    return np.int64 if sym.ftype == "INTEGER" else np.float64
+
+
+class RankMemory:
+    """One rank's arrays (flat, column-major addressing) and scalars."""
+
+    def __init__(self, symtab: SymbolTable, rank: int = 0):
+        self.rank = rank
+        self.symtab = symtab
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.scalars: Dict[str, float] = {}
+        for sym in symtab:
+            if sym.is_param:
+                continue
+            if sym.is_array:
+                self.arrays[sym.name] = np.zeros(sym.size, dtype=_dtype_for(sym))
+            else:
+                self.scalars[sym.name] = 0 if sym.ftype == "INTEGER" else 0.0
+
+    # -- arrays --------------------------------------------------------------
+    def array(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def load(self, name: str, values: np.ndarray) -> None:
+        """Initialize an array from an ndarray of the declared shape
+        (column-major) or a flat vector."""
+        buf = self.arrays[name]
+        flat = np.asarray(values)
+        if flat.ndim > 1:
+            flat = flat.reshape(-1, order="F")
+        if flat.size != buf.size:
+            raise ValueError(
+                f"{name}: expected {buf.size} elements, got {flat.size}"
+            )
+        buf[:] = flat
+
+    def shaped(self, name: str) -> np.ndarray:
+        """The array viewed with its declared shape (column-major)."""
+        sym = self.symtab.lookup(name)
+        return self.arrays[name].reshape(sym.extents, order="F")
+
+    # -- scalars -----------------------------------------------------------
+    def scalar_env(self) -> Dict[str, float]:
+        return dict(self.scalars)
+
+    def update_scalars(self, values: Dict[str, float]) -> None:
+        self.scalars.update(values)
+
+    def __repr__(self):
+        return (
+            f"<RankMemory rank={self.rank} arrays={sorted(self.arrays)} "
+            f"scalars={sorted(self.scalars)}>"
+        )

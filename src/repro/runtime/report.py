@@ -1,0 +1,92 @@
+"""Run reports: simulated-time accounting for executed SPMD programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RunReport"]
+
+
+@dataclass
+class RunReport:
+    """Outcome of one simulated run."""
+
+    nprocs: int
+    granularity: str
+    #: Simulated wall-clock of the whole program (seconds).
+    total_s: float = 0.0
+    #: Per-rank compute seconds (interpreter bursts).
+    compute_s: Dict[int, float] = field(default_factory=dict)
+    #: Per-rank seconds inside MPI calls (incl. fence waits).
+    comm_s: Dict[int, float] = field(default_factory=dict)
+    #: Per-rank CPU seconds spent *driving* communication (message-queue
+    #: enqueues, DMA descriptor programming, PIO copies) — excludes time
+    #: overlapped with DMA/wire streaming.  The paper's Table 2 flavour of
+    #: "communication time" under its DMA-without-interrupting-the-
+    #: processor design.
+    comm_cpu_s: Dict[int, float] = field(default_factory=dict)
+    #: Per-rank fence-wait seconds (subset of comm_s).
+    fence_wait_s: Dict[int, float] = field(default_factory=dict)
+    #: Hardware counters snapshot (cluster.stats()).
+    hw: Dict[str, float] = field(default_factory=dict)
+    #: Messages/bytes by communication role.
+    scatter_messages: int = 0
+    scatter_bytes: int = 0
+    collect_messages: int = 0
+    collect_bytes: int = 0
+    strided_transfers: int = 0
+    contiguous_transfers: int = 0
+    #: region_id -> (visits, total elapsed seconds), master-observed — the
+    #: per-region profile the paper's §5.6 says should guide granularity
+    #: selection.
+    region_profile: Dict[int, tuple] = field(default_factory=dict)
+    #: PRINT output produced by the master.
+    stdout: List[str] = field(default_factory=list)
+    #: Master memory after the run (value mode only).
+    memory: Optional[object] = None
+
+    @property
+    def comm_max_s(self) -> float:
+        """Communication time: the slowest rank's time in MPI calls (the
+        Table 2 metric)."""
+        return max(self.comm_s.values(), default=0.0)
+
+    @property
+    def comm_master_s(self) -> float:
+        return self.comm_s.get(0, 0.0)
+
+    @property
+    def comm_cpu_max_s(self) -> float:
+        """CPU-occupied communication time of the busiest rank."""
+        return max(self.comm_cpu_s.values(), default=0.0)
+
+    @property
+    def comm_cpu_total_s(self) -> float:
+        return sum(self.comm_cpu_s.values())
+
+    @property
+    def compute_max_s(self) -> float:
+        return max(self.compute_s.values(), default=0.0)
+
+    def speedup_vs(self, sequential_s: float) -> float:
+        if self.total_s <= 0:
+            return float("inf")
+        return sequential_s / self.total_s
+
+    def summary(self) -> str:
+        lines = [
+            f"run: {self.nprocs} rank(s), granularity={self.granularity}",
+            f"  total time        : {self.total_s * 1e3:10.3f} ms",
+            f"  compute (max rank): {self.compute_max_s * 1e3:10.3f} ms",
+            f"  comm    (max rank): {self.comm_max_s * 1e3:10.3f} ms",
+            f"  messages          : {int(self.hw.get('messages', 0))}"
+            f" ({self.contiguous_transfers} contiguous,"
+            f" {self.strided_transfers} strided)",
+            f"  bytes moved       : {int(self.hw.get('bytes', 0))}",
+        ]
+        if self.hw.get("hw_broadcasts"):
+            lines.append(
+                f"  V-Bus broadcasts  : {int(self.hw['hw_broadcasts'])}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate under the hardware models in :mod:`repro.vbus`.
+Processes are Python generators that yield :class:`Event` objects; the
+:class:`Simulator` advances virtual time and resumes processes when the
+events they wait on are triggered.  The design follows the familiar
+SimPy shape (built from scratch — no external dependency) with the small
+feature set the cluster models need:
+
+* :class:`Event` — one-shot triggerable event carrying a value.
+* :class:`Timeout` — event triggered after a fixed delay.
+* :class:`Process` — generator-backed process; itself an event that
+  triggers when the generator returns.
+* :class:`AllOf` / :class:`AnyOf` — composite conditions.
+* :class:`Resource` — counted resource with FIFO queueing.
+* :class:`Store` — FIFO object store (used for message queues).
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resource import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

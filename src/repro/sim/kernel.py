@@ -1,0 +1,350 @@
+"""Discrete-event simulation kernel: events, processes, and the scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+#: Scheduling priorities: URGENT items at the same timestamp run before NORMAL.
+URGENT = 0
+NORMAL = 1
+
+#: Sentinel distinguishing "not yet triggered" from a triggered None value.
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, yielding a non-event, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) triggers it,
+    scheduling all registered callbacks at the current simulation time.
+    Processes wait on events by yielding them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully consumed)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered with :meth:`succeed` rather than :meth:`fail`."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value``; callbacks run at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.sim._schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exc`` raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, priority=NORMAL)
+        return self
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.9g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule(self, priority=NORMAL, delay=delay)
+
+
+class _Initialize(Event):
+    """Internal: kicks a new process on the next scheduler step."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running process wrapping a generator.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, so processes can wait on each other.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is not None and not isinstance(self._target, _Initialize):
+            # Detach from the event we were waiting on.
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        hit = Event(self.sim)
+        hit._value = Interrupt(cause)
+        hit._ok = False
+        hit._defused = True
+        hit.callbacks = [self._resume]
+        self.sim._schedule(hit, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the event's outcome."""
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                step = self._generator.send(event._value)
+            else:
+                event._defused = True
+                step = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._target = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(step, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {step!r}"
+            )
+        if step.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._target = step
+        if step.callbacks is None:
+            # Already processed: resume immediately on the next step.
+            ping = Event(self.sim)
+            ping._value = step._value
+            ping._ok = step._ok
+            ping.callbacks = [self._resume]
+            self.sim._schedule(ping, priority=URGENT)
+        else:
+            step.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        # Only *processed* events count: a Timeout carries its value from
+        # construction, so `triggered` alone would over-collect.
+        return {
+            i: ev._value
+            for i, ev in enumerate(self.events)
+            if ev.processed and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any constituent event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def _step(self) -> None:
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # A failure nobody waited on must not pass silently.
+            raise event._value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, a time limit, or an event triggers.
+
+        ``until`` may be ``None`` (drain), a number (absolute time), or an
+        :class:`Event` (stop when it is processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("until lies in the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self._step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() ended before the target event triggered (deadlock?)"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when drained."""
+        return self._queue[0][0] if self._queue else float("inf")

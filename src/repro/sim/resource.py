@@ -1,0 +1,112 @@
+"""Queued resources for the simulation kernel: Resource and Store."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO request queueing.
+
+    ``capacity`` units exist; a process yields :meth:`request` to obtain one
+    and must call :meth:`release` when done.  Used for router output ports,
+    DMA engines, and the shared Ethernet medium.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Event that triggers when a unit has been granted to the caller."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit; the oldest waiter (if any) is granted immediately."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self._in_use}/{self.capacity} busy,"
+            f" {len(self._waiters)} queued>"
+        )
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of items.
+
+    ``put`` blocks when the store is full (bounded case); ``get`` blocks when
+    empty.  This models message queues shared between NICs and MPI daemons.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event that triggers once ``item`` has entered the store."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest blocked getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event that triggers with the oldest item in the store."""
+        ev = Event(self.sim)
+        if self.items:
+            item = self.items.popleft()
+            if self._putters:
+                pev, pitem = self._putters.popleft()
+                self.items.append(pitem)
+                pev.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Store {len(self.items)}/{cap} items>"

@@ -1,0 +1,6 @@
+"""User-facing tools built on the library: the granularity auto-tuner
+(the paper's §5.6 future work) and the command-line driver."""
+
+from repro.tools.autotune import GranularityReport, choose_granularity
+
+__all__ = ["GranularityReport", "choose_granularity"]

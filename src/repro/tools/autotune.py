@@ -1,0 +1,96 @@
+"""Automatic communication-granularity selection.
+
+The paper leaves the fine/middle/coarse choice to the user: "For now, it
+is up to the user that selects the optimal granularity to minimize the
+communication time.  The profiling tools recently provided in Polaris
+would be useful to guide the user" (§5.6).  This module is that guide,
+automated: it compiles the program at every granularity, profiles each
+variant in timing mode (the full communication schedule with analytic
+compute costs, so even 1024² problems profile in seconds), and selects
+the granularity that minimizes the chosen communication metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.pipeline import CompileOptions, compile_source
+from repro.compiler.postpass.granularity import GRAINS
+from repro.runtime.executor import run_program
+from repro.runtime.program import SpmdProgram
+from repro.runtime.report import RunReport
+
+__all__ = ["GranularityReport", "choose_granularity"]
+
+#: Metrics the tuner can optimize.
+METRICS = ("total", "comm", "comm_cpu")
+
+
+@dataclass
+class GranularityReport:
+    """Outcome of one auto-tuning session."""
+
+    best: str
+    metric: str
+    #: grain -> metric value (seconds).
+    values: Dict[str, float] = field(default_factory=dict)
+    #: grain -> full run report (timing mode).
+    reports: Dict[str, RunReport] = field(default_factory=dict)
+    #: The winning compiled program, ready to run.
+    program: Optional[SpmdProgram] = None
+
+    def summary(self) -> str:
+        lines = [f"granularity auto-tune (metric: {self.metric}):"]
+        for grain in GRAINS:
+            star = " <- selected" if grain == self.best else ""
+            lines.append(
+                f"  {grain:7s} {self.values[grain] * 1e3:10.3f} ms{star}"
+            )
+        return "\n".join(lines)
+
+
+def _metric_value(report: RunReport, metric: str) -> float:
+    if metric == "total":
+        return report.total_s
+    if metric == "comm":
+        return report.comm_max_s
+    return report.comm_cpu_max_s
+
+
+def choose_granularity(
+    source: str,
+    nprocs: int = 4,
+    metric: str = "comm",
+    options: Optional[CompileOptions] = None,
+    cluster_params=None,
+) -> GranularityReport:
+    """Profile all three granularities and pick the best.
+
+    ``metric`` is one of ``"total"`` (simulated wall-clock), ``"comm"``
+    (busiest rank's elapsed MPI time), or ``"comm_cpu"`` (busiest rank's
+    CPU time driving communication).  Returns a
+    :class:`GranularityReport` whose ``program`` field holds the winning
+    compiled program.
+    """
+    if metric not in METRICS:
+        raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+    out = GranularityReport(best="", metric=metric)
+    programs: Dict[str, SpmdProgram] = {}
+    for grain in GRAINS:
+        if options is not None:
+            from dataclasses import replace
+
+            opts = replace(options, granularity=grain, nprocs=nprocs)
+            prog = compile_source(source, options=opts)
+        else:
+            prog = compile_source(source, nprocs=nprocs, granularity=grain)
+        report = run_program(
+            prog, cluster_params=cluster_params, execute=False
+        )
+        programs[grain] = prog
+        out.reports[grain] = report
+        out.values[grain] = _metric_value(report, metric)
+    out.best = min(GRAINS, key=lambda g: (out.values[g], GRAINS.index(g)))
+    out.program = programs[out.best]
+    return out

@@ -1,0 +1,163 @@
+"""Command-line driver: compile, run, and auto-tune Fortran programs on
+the simulated V-Bus cluster.
+
+Usage::
+
+    python -m repro compile PROG.f [--nprocs 4] [--granularity fine]
+                                   [--show fortran|plan|log|avpg ...]
+    python -m repro run     PROG.f [--nprocs 4] [--granularity fine]
+                                   [--timing] [--arrays A,B]
+    python -m repro autotune PROG.f [--nprocs 4] [--metric comm]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.compiler.pipeline import compile_file
+from repro.compiler.postpass.granularity import GRAINS
+from repro.runtime.executor import run_program, run_sequential
+from repro.tools.autotune import METRICS, choose_granularity
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("source", help="Fortran 77 source file")
+    p.add_argument("--nprocs", type=int, default=4, help="cluster size")
+    p.add_argument(
+        "--granularity",
+        choices=GRAINS,
+        default="fine",
+        help="communication granularity (paper §5.6)",
+    )
+    p.add_argument(
+        "--partition",
+        choices=("auto", "block", "cyclic"),
+        default="auto",
+        help="work partitioning strategy (paper §5.3)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="V-Bus PC-cluster parallel programming environment "
+        "(CLUSTER 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pc = sub.add_parser("compile", help="compile and show postpass products")
+    _add_common(pc)
+    pc.add_argument(
+        "--show",
+        nargs="+",
+        choices=("fortran", "plan", "log", "avpg"),
+        default=["plan"],
+        help="which artifacts to print",
+    )
+
+    pr = sub.add_parser("run", help="compile and simulate a run")
+    _add_common(pr)
+    pr.add_argument(
+        "--timing",
+        action="store_true",
+        help="timing mode: skip numeric array work (for large problems)",
+    )
+    pr.add_argument(
+        "--arrays",
+        default="",
+        help="comma-separated arrays to print after the run",
+    )
+    pr.add_argument(
+        "--compare-sequential",
+        action="store_true",
+        help="also run sequentially and report the speedup",
+    )
+
+    pa = sub.add_parser("autotune", help="pick the best granularity")
+    pa.add_argument("source")
+    pa.add_argument("--nprocs", type=int, default=4)
+    pa.add_argument("--metric", choices=METRICS, default="comm")
+    return parser
+
+
+def _cmd_compile(args) -> int:
+    prog = compile_file(
+        args.source,
+        nprocs=args.nprocs,
+        granularity=args.granularity,
+        partition=args.partition,
+    )
+    shows = set(args.show)
+    if "log" in shows:
+        print("== parallelization log ==")
+        print(prog.parallelization_log)
+        print()
+    if "plan" in shows:
+        print("== communication plan ==")
+        print(prog.summary())
+        print()
+    if "avpg" in shows:
+        print("== AVPG ==")
+        cols = prog.avpg.arrays
+        print("  node   " + " ".join(f"{a:>10s}" for a in cols))
+        for node in prog.avpg.nodes:
+            print(
+                f"  {node.label:6s} "
+                + " ".join(f"{node.attrs[a]:>10s}" for a in cols)
+            )
+        print()
+    if "fortran" in shows:
+        print(prog.fortran)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    prog = compile_file(
+        args.source,
+        nprocs=args.nprocs,
+        granularity=args.granularity,
+        partition=args.partition,
+    )
+    report = run_program(prog, execute=not args.timing)
+    for line in report.stdout:
+        print(line)
+    print(report.summary())
+    if args.compare_sequential:
+        seq = run_sequential(prog, execute=not args.timing)
+        print(
+            f"  sequential        : {seq.total_s * 1e3:10.3f} ms "
+            f"(speedup {seq.total_s / report.total_s:.2f}x)"
+        )
+    if args.arrays and not args.timing:
+        for name in args.arrays.split(","):
+            name = name.strip().upper()
+            if name not in report.memory.arrays:
+                print(f"  (no array named {name})")
+                continue
+            print(f"{name} = {report.memory.shaped(name)}")
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    with open(args.source) as fh:
+        src = fh.read()
+    rep = choose_granularity(src, nprocs=args.nprocs, metric=args.metric)
+    print(rep.summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_autotune(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Hardware substrate: the V-Bus based PC-cluster as a discrete-event model.
+
+The paper's cluster is four 300 MHz Pentium-II PCs joined by custom FPGA
+network cards into a 2-D mesh.  Every mechanism the evaluation relies on is
+modelled here:
+
+* :mod:`repro.vbus.signal` — per-line skew, the skew-sampling circuit, and
+  the cycle-time mathematics that make SKWP ~4x faster than conventional
+  pipelining (Section 2.1).
+* :mod:`repro.vbus.link` — wave-pipelined links in ``conventional`` /
+  ``wave`` / ``skwp`` modes.
+* :mod:`repro.vbus.router` + :mod:`repro.vbus.mesh` — wormhole XY routing
+  on the 2-D mesh, with freeze/unfreeze hooks for the virtual bus.
+* :mod:`repro.vbus.vbusctl` — the virtual-bus broadcast engine: freezes
+  in-flight point-to-point traffic, configures a transient bus from the
+  source to all destinations, streams the broadcast, and releases.
+* :mod:`repro.vbus.nic` — the network card: DMA engine for contiguous
+  transfers, programmed-I/O for strided ones, a driver buffer, and the
+  shared message queue that avoids kernel context switches (Section 2.2).
+* :mod:`repro.vbus.ethernet` — the Fast Ethernet baseline.
+* :mod:`repro.vbus.cluster` — assembles hosts + NICs + network.
+"""
+
+from repro.vbus.cluster import Cluster, build_cluster
+from repro.vbus.stats import ChannelUsage, network_usage, usage_report
+from repro.vbus.params import (
+    ClusterParams,
+    CpuParams,
+    LinkParams,
+    NicParams,
+    ETHERNET_100,
+    VBUS_CONVENTIONAL,
+    VBUS_SKWP,
+    VBUS_WAVE_UNTUNED,
+)
+
+__all__ = [
+    "ChannelUsage",
+    "Cluster",
+    "ClusterParams",
+    "network_usage",
+    "usage_report",
+    "CpuParams",
+    "ETHERNET_100",
+    "LinkParams",
+    "NicParams",
+    "VBUS_CONVENTIONAL",
+    "VBUS_SKWP",
+    "VBUS_WAVE_UNTUNED",
+    "build_cluster",
+]

@@ -1,0 +1,258 @@
+"""Cluster assembly: hosts + NICs + interconnect behind one transfer API.
+
+:class:`Cluster` is the facade the MPI-2 library talks to.  It hides which
+interconnect is configured (V-Bus mesh or Fast Ethernet) behind two
+operations:
+
+* :meth:`Cluster.transfer` — one point-to-point message, through the source
+  NIC (DMA or PIO) and the network.
+* :meth:`Cluster.hw_broadcast` — the V-Bus hardware broadcast (freezes
+  point-to-point traffic, streams one wave to all nodes), or the Ethernet
+  physical-bus broadcast; ``None``-capable when the hardware lacks it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Simulator
+from repro.vbus.ethernet import EthernetNetwork
+from repro.vbus.host import Host
+from repro.vbus.mesh import MeshTopology
+from repro.vbus.nic import Nic, RECV_OVERHEAD_S, TransferReceipt
+from repro.vbus.params import ClusterParams, VBUS_SKWP, cluster_for
+from repro.vbus.router import WormholeMesh
+from repro.vbus.signal import bandwidth_Bps
+from repro.vbus.vbusctl import FreezeDomain, VBusController
+
+__all__ = ["Cluster", "build_cluster"]
+
+
+def _noop():
+    """An immediately-completing process body."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+class Cluster:
+    """A simulated PC-cluster instance bound to one simulation."""
+
+    def __init__(self, sim: Simulator, params: ClusterParams):
+        self.sim = sim
+        self.params = params
+        self.topology = MeshTopology(*params.mesh)
+        self.hosts: List[Host] = [
+            Host(sim, rank, params.cpu) for rank in range(self.nprocs)
+        ]
+        self.nics: List[Nic] = [
+            Nic(sim, rank, params.nic) for rank in range(self.nprocs)
+        ]
+        self.domain = FreezeDomain(sim)
+
+        if params.network == "vbus":
+            self.mesh: Optional[WormholeMesh] = WormholeMesh(
+                sim, self.topology, params.link, self.domain
+            )
+            self.ethernet: Optional[EthernetNetwork] = None
+            setup = (
+                max(1, self.topology.diameter) * params.link.router_delay_s + 1e-6
+            )
+            self.vbusctl: Optional[VBusController] = VBusController(
+                sim, self.domain, setup_s=setup
+            )
+        else:
+            self.mesh = None
+            self.vbusctl = None
+            self.ethernet = EthernetNetwork(sim, params.ethernet, self.nprocs)
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.params.nprocs
+
+    @property
+    def link_rate_Bps(self) -> float:
+        if self.mesh is not None:
+            return self.mesh.link_rate_Bps
+        return self.ethernet.params.rate_Bps
+
+    @property
+    def has_hw_broadcast(self) -> bool:
+        """True when a one-shot all-node broadcast primitive exists."""
+        if self.params.network == "vbus":
+            return self.params.vbus_broadcast
+        return True  # Ethernet is a physical bus
+
+    # -- operations --------------------------------------------------------
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        elements: Optional[int] = None,
+        contiguous: bool = True,
+    ) -> Generator:
+        """One point-to-point message; returns a ``TransferReceipt``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            return TransferReceipt(
+                nbytes=nbytes,
+                elements=elements or max(1, nbytes // 8),
+                contiguous=contiguous,
+                cpu_s=0.0,
+                total_s=0.0,
+            )
+
+        if self.mesh is not None:
+            network_call = lambda cap: self.mesh.unicast(src, dst, nbytes, cap)
+        else:
+            network_call = lambda cap: self.ethernet.unicast(src, dst, nbytes, cap)
+        receipt = yield from self.nics[src].transfer(
+            network_call, nbytes, elements=elements, contiguous=contiguous
+        )
+        self.hosts[src].charge_comm_cpu(receipt.cpu_s)
+        return receipt
+
+    def hw_broadcast(
+        self,
+        src: int,
+        nbytes: int,
+        *,
+        elements: Optional[int] = None,
+        contiguous: bool = True,
+    ) -> Generator:
+        """Hardware broadcast from ``src`` to every other node."""
+        self._check_rank(src)
+        if not self.has_hw_broadcast:
+            raise RuntimeError("cluster has no hardware broadcast facility")
+        if self.nprocs == 1:
+            return None
+        if self.vbusctl is not None:
+            rate = min(self.link_rate_Bps, self.params.nic.dma_rate_Bps)
+            network_call = lambda cap: self.vbusctl.broadcast(
+                nbytes, rate if cap is None else min(rate, cap)
+            )
+        else:
+            network_call = lambda cap: self.ethernet.broadcast(src, nbytes, cap)
+        receipt = yield from self.nics[src].transfer(
+            network_call, nbytes, elements=elements, contiguous=contiguous
+        )
+        self.hosts[src].charge_comm_cpu(receipt.cpu_s)
+        return receipt
+
+    def rma_start(
+        self,
+        origin: int,
+        remote: int,
+        nbytes: int,
+        *,
+        elements: Optional[int] = None,
+        contiguous: bool = True,
+        direction: str = "put",
+    ) -> Generator:
+        """Split-phase one-sided transfer (MPI_PUT / MPI_GET hardware leg).
+
+        Blocks the caller only for the CPU-occupied phase — message-queue
+        enqueue plus either DMA descriptor programming (contiguous) or the
+        full per-element programmed-I/O copy (strided).  The wire/DMA
+        streaming leg runs as a background process; the returned
+        ``(cpu_s, completion)`` pair lets the window layer overlap it with
+        computation until the next fence.  This is the paper's "data from
+        the user buffer can be copied ... without interrupting the
+        processor" for contiguous PUT/GET, and the processor-bound
+        element-by-element path for strided PUT/GET.
+        """
+        if direction not in ("put", "get"):
+            raise ValueError(f"bad RMA direction {direction!r}")
+        self._check_rank(origin)
+        self._check_rank(remote)
+        if elements is None:
+            elements = max(1, nbytes // 8)
+        if origin == remote or nbytes == 0:
+            done = self.sim.process(_noop(), name="rma-local")
+            return 0.0, done
+
+        nic = self.nics[origin]
+        cpu_s = nic.software_setup_s()
+        yield self.sim.timeout(cpu_s)
+
+        src, dst = (origin, remote) if direction == "put" else (remote, origin)
+        if self.mesh is not None:
+            wire_call = lambda cap: self.mesh.unicast(src, dst, nbytes, cap)
+        else:
+            wire_call = lambda cap: self.ethernet.unicast(src, dst, nbytes, cap)
+
+        if contiguous:
+            yield nic._dma.request()
+            yield self.sim.timeout(self.params.nic.dma_setup_s)
+            cpu_s += self.params.nic.dma_setup_s
+
+            def wire():
+                try:
+                    yield from wire_call(self.params.nic.dma_rate_Bps)
+                    yield self.sim.timeout(RECV_OVERHEAD_S)
+                finally:
+                    nic._dma.release()
+
+            nic.dma_transfers += 1
+        else:
+            pio = (
+                self.params.nic.pio_setup_s
+                + elements * self.params.nic.pio_per_element_s
+            )
+            yield self.sim.timeout(pio)
+            cpu_s += pio
+            nic.pio_elements += elements
+
+            def wire():
+                yield from wire_call(None)
+                yield self.sim.timeout(RECV_OVERHEAD_S)
+
+        completion = self.sim.process(wire(), name=f"rma-wire[{origin}->{remote}]")
+        nic.messages += 1
+        nic.bytes += nbytes
+        nic.cpu_busy_s += cpu_s
+        self.hosts[origin].charge_comm_cpu(cpu_s)
+        return cpu_s, completion
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range (nprocs={self.nprocs})")
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate hardware counters for reports and tests."""
+        out: Dict[str, float] = {
+            "messages": sum(n.messages for n in self.nics),
+            "bytes": sum(n.bytes for n in self.nics),
+            "dma_transfers": sum(n.dma_transfers for n in self.nics),
+            "pio_elements": sum(n.pio_elements for n in self.nics),
+            "nic_cpu_busy_s": sum(n.cpu_busy_s for n in self.nics),
+            "freezes": self.domain.freeze_count,
+            "frozen_s": self.domain.total_frozen_s,
+        }
+        if self.vbusctl is not None:
+            out["hw_broadcasts"] = self.vbusctl.broadcast_count
+            out["hw_broadcast_bytes"] = self.vbusctl.broadcast_bytes
+        if self.mesh is not None:
+            out["mesh_messages"] = self.mesh.messages
+            out["mesh_bytes"] = self.mesh.bytes
+        if self.ethernet is not None:
+            out["ether_messages"] = self.ethernet.messages
+            out["ether_bytes"] = self.ethernet.bytes
+        return out
+
+
+def build_cluster(
+    nprocs: int = 4,
+    params: Optional[ClusterParams] = None,
+    sim: Optional[Simulator] = None,
+) -> Cluster:
+    """Convenience constructor: a fresh simulator + a cluster of ``nprocs``."""
+    sim = sim or Simulator()
+    base = params if params is not None else VBUS_SKWP
+    if base.nprocs != nprocs:
+        base = cluster_for(nprocs, base)
+    return Cluster(sim, base)

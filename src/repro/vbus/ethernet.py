@@ -1,0 +1,77 @@
+"""Fast Ethernet baseline: shared medium, kernel networking stack.
+
+The paper's headline hardware comparison: the V-Bus card offers about four
+times the bandwidth and a quarter of the latency of a Fast Ethernet card.
+This model charges a kernel software latency on each side of a message plus
+serialization on the single shared 100 Mb/s medium.  Broadcast rides the
+physical bus for free (one transmission heard by all) — the fair version of
+the comparison, since Ethernet *is* a bus.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from repro.sim import Resource, Simulator
+from repro.vbus.params import EthernetParams
+
+__all__ = ["EthernetNetwork"]
+
+
+class EthernetNetwork:
+    """A single shared 100 Mb/s segment connecting all nodes."""
+
+    def __init__(self, sim: Simulator, params: EthernetParams, nnodes: int):
+        self.sim = sim
+        self.params = params
+        self.nnodes = nnodes
+        self._medium = Resource(sim, capacity=1)
+        #: Statistics.
+        self.messages = 0
+        self.bytes = 0
+
+    def _wire_time(self, nbytes: int) -> float:
+        """Medium occupancy: per-frame framing overhead plus payload bits."""
+        p = self.params
+        nframes = max(1, math.ceil(nbytes / p.mtu_bytes))
+        return max(p.min_frame_s, nbytes / p.rate_Bps + nframes * p.min_frame_s * 0.15)
+
+    def unicast(
+        self, src: int, dst: int, nbytes: int, rate_cap_Bps: Optional[float] = None
+    ) -> Generator:
+        """Point-to-point message over the shared segment."""
+        if src == dst:
+            return 0.0
+        t0 = self.sim.now
+        p = self.params
+        yield self.sim.timeout(p.sw_latency_s)  # sender kernel stack
+        yield self._medium.request()
+        try:
+            wire = self._wire_time(nbytes)
+            if rate_cap_Bps is not None and rate_cap_Bps < p.rate_Bps:
+                wire = max(wire, nbytes / rate_cap_Bps)
+            yield self.sim.timeout(wire)
+        finally:
+            self._medium.release()
+        yield self.sim.timeout(p.sw_latency_s)  # receiver kernel stack
+        self.messages += 1
+        self.bytes += nbytes
+        return self.sim.now - t0
+
+    def broadcast(
+        self, src: int, nbytes: int, rate_cap_Bps: Optional[float] = None
+    ) -> Generator:
+        """One transmission delivered to every node on the segment."""
+        t0 = self.sim.now
+        p = self.params
+        yield self.sim.timeout(p.sw_latency_s)
+        yield self._medium.request()
+        try:
+            yield self.sim.timeout(self._wire_time(nbytes))
+        finally:
+            self._medium.release()
+        yield self.sim.timeout(p.sw_latency_s)
+        self.messages += 1
+        self.bytes += nbytes * (self.nnodes - 1)
+        return self.sim.now - t0

@@ -1,0 +1,49 @@
+"""Message and flit framing for the wormhole network."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Message", "flit_count"]
+
+_message_ids = itertools.count()
+
+#: Header and tail flits framing every wormhole message.
+CONTROL_FLITS = 2
+
+
+@dataclass
+class Message:
+    """One network-level transfer (the unit the NIC injects).
+
+    ``dst`` is a single node for point-to-point transfers and ``None`` for a
+    V-Bus broadcast (delivered to every other node).
+    """
+
+    src: int
+    dst: Optional[int]
+    nbytes: int
+    kind: str = "p2p"  # "p2p" | "bcast"
+    tag: int = 0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.kind not in ("p2p", "bcast"):
+            raise ValueError(f"unknown message kind {self.kind!r}")
+        if self.kind == "p2p" and self.dst is None:
+            raise ValueError("p2p message needs a destination")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.kind == "bcast"
+
+
+def flit_count(nbytes: int, width_bits: int) -> int:
+    """Number of flits a payload occupies on a link of the given width."""
+    flit_bytes = max(1, width_bits // 8)
+    return CONTROL_FLITS + math.ceil(nbytes / flit_bytes)

@@ -1,0 +1,46 @@
+"""Host PC model: a 300 MHz processor with cycle-level cost accounting."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Simulator, Timeout
+from repro.vbus.params import CpuParams
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One PC of the cluster.
+
+    The host does not model caches or out-of-order execution; it charges
+    simulated time from the operation counts the interpreter reports
+    (cycles / 300 MHz), which is the level of fidelity the paper's
+    speedup and communication-time comparisons need.
+    """
+
+    def __init__(self, sim: Simulator, rank: int, cpu: CpuParams):
+        self.sim = sim
+        self.rank = rank
+        self.cpu = cpu
+        #: Accumulated busy time, split by activity.
+        self.compute_s = 0.0
+        self.comm_cpu_s = 0.0
+
+    def compute(self, cycles: float) -> Timeout:
+        """Advance this host's time by a compute burst of ``cycles``."""
+        seconds = self.cpu.seconds(cycles)
+        self.compute_s += seconds
+        return self.sim.timeout(seconds)
+
+    def compute_seconds(self, seconds: float) -> Timeout:
+        """Advance by a pre-converted compute duration."""
+        self.compute_s += seconds
+        return self.sim.timeout(seconds)
+
+    def charge_comm_cpu(self, seconds: float) -> None:
+        """Record CPU time consumed inside communication calls."""
+        self.comm_cpu_s += seconds
+
+    def __repr__(self) -> str:
+        return f"<Host rank={self.rank} {self.cpu.clock_hz / 1e6:.0f}MHz>"

@@ -1,0 +1,86 @@
+"""2-D mesh topology and XY (dimension-order) routing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["MeshTopology"]
+
+Coord = Tuple[int, int]
+
+
+class MeshTopology:
+    """Node numbering, coordinates, and XY routes on a rows x cols mesh.
+
+    Ranks are row-major: ``rank = row * cols + col``.  XY routing moves
+    along the X (column) dimension first, then Y (row) — the standard
+    deadlock-free dimension order for wormhole meshes.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"bad mesh {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def nnodes(self) -> int:
+        return self.rows * self.cols
+
+    def coord(self, rank: int) -> Coord:
+        if not 0 <= rank < self.nnodes:
+            raise ValueError(f"rank {rank} out of range for {self.rows}x{self.cols}")
+        return divmod(rank, self.cols)
+
+    def rank(self, coord: Coord) -> int:
+        row, col = coord
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coord {coord} outside mesh")
+        return row * self.cols + col
+
+    def neighbors(self, rank: int) -> List[int]:
+        row, col = self.coord(rank)
+        out = []
+        for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+            nr, nc = row + dr, col + dc
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                out.append(self.rank((nr, nc)))
+        return out
+
+    def links(self) -> List[Tuple[int, int]]:
+        """All directed links (u, v) between adjacent nodes."""
+        out = []
+        for u in range(self.nnodes):
+            for v in self.neighbors(u):
+                out.append((u, v))
+        return out
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """XY route as a list of directed links from ``src`` to ``dst``."""
+        if src == dst:
+            return []
+        sr, sc = self.coord(src)
+        dr, dc = self.coord(dst)
+        path: List[Tuple[int, int]] = []
+        r, c = sr, sc
+        step = 1 if dc > c else -1
+        while c != dc:  # X first
+            nxt = (r, c + step)
+            path.append((self.rank((r, c)), self.rank(nxt)))
+            c += step
+        step = 1 if dr > r else -1
+        while r != dr:  # then Y
+            nxt = (r + step, c)
+            path.append((self.rank((r, c)), self.rank(nxt)))
+            r += step
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two ranks."""
+        sr, sc = self.coord(src)
+        dr, dc = self.coord(dst)
+        return abs(sr - dr) + abs(sc - dc)
+
+    @property
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)

@@ -1,0 +1,114 @@
+"""Wormhole routing over the mesh: channels, head advancement, body streaming.
+
+A point-to-point message claims the directed channels along its XY route
+hop by hop (the head flit), then streams its body pipelined at the link
+rate while holding the whole path — the classic wormhole discipline.  Both
+head advancement and body streaming run inside the cluster's
+:class:`~repro.vbus.vbusctl.FreezeDomain`, so an incoming V-Bus broadcast
+freezes them in place mid-flight.
+
+XY dimension-order acquisition keeps the channel dependency graph acyclic,
+so path locking cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.sim import Resource, Simulator
+from repro.vbus.flit import flit_count
+from repro.vbus.mesh import MeshTopology
+from repro.vbus.params import LinkParams
+from repro.vbus.signal import bandwidth_Bps
+from repro.vbus.vbusctl import FreezeDomain
+
+__all__ = ["Channel", "WormholeMesh"]
+
+
+class Channel:
+    """One directed link between adjacent routers (capacity: one message)."""
+
+    def __init__(self, sim: Simulator, u: int, v: int):
+        self.sim = sim
+        self.u = u
+        self.v = v
+        self._res = Resource(sim, capacity=1)
+        #: Utilization statistics.
+        self.busy_s = 0.0
+        self.messages = 0
+        self._acquired_at: Optional[float] = None
+
+    def acquire(self):
+        return self._res.request()
+
+    def on_acquired(self) -> None:
+        self._acquired_at = self.sim.now
+        self.messages += 1
+
+    def release(self) -> None:
+        if self._acquired_at is not None:
+            self.busy_s += self.sim.now - self._acquired_at
+            self._acquired_at = None
+        self._res.release()
+
+    def __repr__(self) -> str:
+        return f"<Channel {self.u}->{self.v}>"
+
+
+class WormholeMesh:
+    """The switched mesh network: channels + wormhole unicast."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: MeshTopology,
+        link: LinkParams,
+        domain: FreezeDomain,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.link = link
+        self.domain = domain
+        self.channels: Dict[Tuple[int, int], Channel] = {
+            (u, v): Channel(sim, u, v) for (u, v) in topology.links()
+        }
+        #: Raw link streaming rate under the configured pipelining mode.
+        self.link_rate_Bps = bandwidth_Bps(link)
+        #: Statistics.
+        self.messages = 0
+        self.bytes = 0
+        self.flits = 0
+
+    def unicast(
+        self, src: int, dst: int, nbytes: int, rate_cap_Bps: Optional[float] = None
+    ) -> Generator:
+        """Deliver ``nbytes`` from ``src`` to ``dst`` through the mesh.
+
+        ``rate_cap_Bps`` throttles streaming below the raw link rate (e.g.
+        when the source DMA engine, not the wire, is the bottleneck).
+        Returns (via StopIteration) the network time consumed.
+        """
+        if src == dst:
+            return 0.0
+        t0 = self.sim.now
+        path = [self.channels[hop] for hop in self.topology.route(src, dst)]
+        acquired = []
+        try:
+            for ch in path:
+                yield ch.acquire()
+                ch.on_acquired()
+                acquired.append(ch)
+                # Head-flit fall-through; pauses if the V-Bus freezes us.
+                yield from self.domain.interruptible_delay(self.link.router_delay_s)
+            rate = self.link_rate_Bps
+            if rate_cap_Bps is not None:
+                rate = min(rate, rate_cap_Bps)
+            # Body streams pipelined along the held path.
+            yield from self.domain.interruptible_delay(nbytes / rate)
+        finally:
+            for ch in reversed(acquired):
+                ch.release()
+        self.messages += 1
+        self.bytes += nbytes
+        self.flits += flit_count(nbytes, self.link.width_bits)
+        return self.sim.now - t0

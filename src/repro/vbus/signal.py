@@ -1,0 +1,136 @@
+"""Skew modelling and the automatic skew-sampling circuit (SKWP, paper §2.1).
+
+A link is a bundle of parallel signal lines.  Each line has a static skew
+(manufacturing/trace-length variation) plus dynamic jitter.  How fast data
+waves may follow each other depends on the pipelining discipline:
+
+``conventional``
+    One datum is in flight at a time: the cycle must cover the full wire
+    propagation delay plus logic setup —
+    ``T = wire_delay + setup``.
+
+``wave``
+    Multiple waves coexist on the wire, so the wire delay drops out of the
+    cycle time; but consecutive waves must not smear into each other, so the
+    cycle must cover the *skew spread* between the fastest and slowest line —
+    ``T = setup + spread``.  Worse, the paper notes the end-to-end skew
+    "can be magnified while passing through several wave-pipelined network
+    cards": without per-hop resampling the spread accumulates with hop
+    count, so ``spread_k = spread * k``.
+
+``skwp``
+    The skew-sampling circuit measures each line's delay, inserts a
+    quantized compensating delay, and merges the signals back into phase.
+    The static spread collapses to at most one sampling-resolution step, and
+    only jitter remains — ``T = setup + resolution + jitter`` — *per hop*,
+    because every card resamples.
+
+With the default :class:`~repro.vbus.params.LinkParams` this yields
+20 ns / 12 ns / 5 ns cycles, i.e. SKWP ≈ 4x conventional — the paper's
+headline link-level claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.vbus.params import LinkParams
+
+__all__ = [
+    "SkewSampler",
+    "cycle_time_s",
+    "bandwidth_Bps",
+    "effective_spread_s",
+    "generate_line_skews",
+]
+
+
+def generate_line_skews(
+    n_lines: int, spread_s: float, seed: int = 0
+) -> np.ndarray:
+    """Deterministic per-line static skews spanning exactly ``spread_s``.
+
+    The fastest and slowest lines pin the extremes so the configured spread
+    is realized; intermediate lines fall pseudo-randomly in between.
+    """
+    if n_lines < 1:
+        raise ValueError("need at least one line")
+    if n_lines == 1:
+        return np.zeros(1)
+    rng = np.random.default_rng(seed)
+    skews = rng.uniform(0.0, spread_s, size=n_lines)
+    skews[0] = 0.0
+    skews[-1] = spread_s
+    return skews
+
+
+class SkewSampler:
+    """The automatic skew-sampling circuit.
+
+    Given measured per-line skews it derives quantized compensation delays
+    (multiples of the sampling resolution) that re-align all lines to the
+    phase of the slowest line, to within one resolution step.
+    """
+
+    def __init__(self, resolution_s: float):
+        if resolution_s <= 0:
+            raise ValueError("sampling resolution must be positive")
+        self.resolution_s = resolution_s
+
+    def compensations(self, skews: Sequence[float]) -> np.ndarray:
+        """Per-line delay insertions, quantized to the resolution grid.
+
+        Line *i* is delayed by ``ceil((max_skew - skew_i)/res) * res`` so no
+        compensated line is ever *earlier* than the slowest line.
+        """
+        skews = np.asarray(skews, dtype=float)
+        target = skews.max()
+        steps = np.ceil((target - skews) / self.resolution_s - 1e-12)
+        return steps * self.resolution_s
+
+    def residual_spread(self, skews: Sequence[float]) -> float:
+        """Spread remaining after compensation (≤ one resolution step)."""
+        skews = np.asarray(skews, dtype=float)
+        aligned = skews + self.compensations(skews)
+        return float(aligned.max() - aligned.min())
+
+
+def effective_spread_s(params: LinkParams, hops: int = 1) -> float:
+    """Skew spread seen by the receiving card after ``hops`` links.
+
+    Conventional pipelining re-registers every hop, so spread never limits
+    it (returned for completeness).  Untuned wave pipelining accumulates
+    spread linearly with hop count; SKWP resamples at every card so only the
+    quantization residual plus jitter remains, independent of hops.
+    """
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    if params.mode == "wave":
+        return params.skew_spread_s * hops
+    if params.mode == "skwp":
+        sampler = SkewSampler(params.sampling_resolution_s)
+        skews = generate_line_skews(params.width_bits, params.skew_spread_s)
+        return sampler.residual_spread(skews) + params.jitter_s
+    return params.skew_spread_s  # conventional: informational only
+
+
+def cycle_time_s(params: LinkParams, hops: int = 1) -> float:
+    """Wave-to-wave cycle time of the link under its pipelining mode."""
+    if params.mode == "conventional":
+        return params.wire_delay_s + params.setup_s
+    return params.setup_s + effective_spread_s(params, hops)
+
+
+def bandwidth_Bps(params: LinkParams, hops: int = 1) -> float:
+    """Raw link bandwidth in bytes/second."""
+    return (params.width_bits / 8.0) / cycle_time_s(params, hops)
+
+
+def mode_comparison(params: LinkParams, hops: int = 1) -> Tuple[float, float, float]:
+    """(conventional, wave, skwp) bandwidths of the same physical link."""
+    return tuple(
+        bandwidth_Bps(params.with_mode(mode), hops)
+        for mode in ("conventional", "wave", "skwp")
+    )

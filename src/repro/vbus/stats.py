@@ -1,0 +1,71 @@
+"""Network statistics utilities: channel utilization and hot links.
+
+The paper's V-Bus argument is about *bandwidth utilization* — "they are
+more expensive and suffer from low utilization of network bandwidth
+overall" (on physical broadcast buses) versus the virtual bus that only
+exists while a broadcast needs it.  These helpers turn the simulator's
+raw channel counters into that analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.vbus.cluster import Cluster
+
+__all__ = ["ChannelUsage", "network_usage", "usage_report"]
+
+
+@dataclass(frozen=True)
+class ChannelUsage:
+    """Utilization of one directed mesh channel over a simulation."""
+
+    src: int
+    dst: int
+    messages: int
+    busy_s: float
+    utilization: float  # busy fraction of total simulated time
+
+    def __str__(self):
+        return (
+            f"{self.src}->{self.dst}: {self.messages} msg(s), "
+            f"busy {self.busy_s * 1e3:.3f} ms ({self.utilization:6.1%})"
+        )
+
+
+def network_usage(cluster: Cluster) -> List[ChannelUsage]:
+    """Per-channel usage, sorted by busy time (hottest first)."""
+    if cluster.mesh is None:
+        raise ValueError("usage analysis needs a mesh interconnect")
+    now = cluster.sim.now
+    out = []
+    for (u, v), ch in cluster.mesh.channels.items():
+        util = (ch.busy_s / now) if now > 0 else 0.0
+        out.append(
+            ChannelUsage(
+                src=u,
+                dst=v,
+                messages=ch.messages,
+                busy_s=ch.busy_s,
+                utilization=util,
+            )
+        )
+    out.sort(key=lambda c: (-c.busy_s, c.src, c.dst))
+    return out
+
+
+def usage_report(cluster: Cluster, top: Optional[int] = None) -> str:
+    """Human-readable utilization table with bus/freeze statistics."""
+    rows = network_usage(cluster)
+    if top is not None:
+        rows = rows[:top]
+    lines = ["channel utilization (hottest first):"]
+    lines += [f"  {c}" for c in rows]
+    stats = cluster.stats()
+    lines.append(
+        f"  broadcasts: {int(stats.get('hw_broadcasts', 0))}, "
+        f"freezes: {int(stats['freezes'])}, "
+        f"frozen time: {stats['frozen_s'] * 1e3:.3f} ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""The paper's benchmark programs as parameterized Fortran 77 sources.
+
+* :mod:`repro.workloads.mm` — the MM matrix multiply of Table 1/Table 2;
+* :mod:`repro.workloads.swim` — a SWIM-like shallow-water kernel with the
+  SPEC code's loop/stencil structure (Table 2, ITMAX=1);
+* :mod:`repro.workloads.cffzinit` — a CFFZINIT-like stride-2 trig-table
+  initialization from the NASA TFFT code (Table 2, M=11);
+* :mod:`repro.workloads.synthetic` — microkernels for the figure
+  reproductions and ablations (stride-k sweeps, triangular loops,
+  reductions, AVPG chains).
+
+Real SPEC/NASA sources are not redistributable; these kernels preserve
+the loop nests and LMAD stride structure the paper's evaluation depends
+on (see DESIGN.md §2 for the substitution argument).
+"""
+
+from repro.workloads import cffzinit, jacobi, mm, swim, synthetic
+
+__all__ = ["cffzinit", "jacobi", "mm", "swim", "synthetic"]

@@ -1,0 +1,68 @@
+"""Jacobi relaxation: an iterative solver with a per-step residual.
+
+Not one of the paper's three benchmarks, but exactly the class its
+introduction motivates: a time-stepping loop whose body mixes parallel
+stencil sweeps with a global reduction (the residual) — exercising
+replicated control flow, scatter validity across iterations, and the
+lock+accumulate reduction path in one program.
+
+Solves the 1-D Poisson-like system ``2*x_i - x_{i-1} - x_{i+1} = b_i``
+with Dirichlet boundaries ``x_1 = x_N = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["source", "init_arrays", "reference"]
+
+
+def source(n: int = 128, steps: int = 25) -> str:
+    if n < 8:
+        raise ValueError("grid too small")
+    return f"""
+      PROGRAM JACOBI
+      PARAMETER (N = {n}, STEPS = {steps})
+      REAL*8 X(N), XNEW(N), B(N)
+      REAL*8 RES
+      INTEGER I, T
+      DO I = 1, N
+        B(I) = SIN(0.1 * DBLE(I)) * 0.01
+        X(I) = 0.0
+        XNEW(I) = 0.0
+      ENDDO
+      DO T = 1, STEPS
+        DO I = 2, N-1
+          XNEW(I) = (B(I) + X(I-1) + X(I+1)) / 2.0
+        ENDDO
+        RES = 0.0
+        DO I = 2, N-1
+          RES = RES + ABS(XNEW(I) - X(I))
+        ENDDO
+        DO I = 2, N-1
+          X(I) = XNEW(I)
+        ENDDO
+      ENDDO
+      PRINT *, 'residual', RES
+      END
+"""
+
+
+def init_arrays(n: int) -> Dict[str, np.ndarray]:
+    return {}
+
+
+def reference(n: int, steps: int) -> Tuple[np.ndarray, float]:
+    """NumPy reference: (final x, final-step residual)."""
+    i = np.arange(1, n + 1, dtype=np.float64)
+    b = np.sin(0.1 * i) * 0.01
+    x = np.zeros(n)
+    xnew = np.zeros(n)
+    res = 0.0
+    for _ in range(steps):
+        xnew[1:-1] = (b[1:-1] + x[:-2] + x[2:]) / 2.0
+        res = float(np.abs(xnew[1:-1] - x[1:-1]).sum())
+        x[1:-1] = xnew[1:-1]
+    return x, res

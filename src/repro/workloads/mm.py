@@ -1,0 +1,53 @@
+"""MM: dense matrix multiplication (paper Tables 1 and 2).
+
+The classic ijk nest over ``REAL*8`` column-major matrices.  The outer I
+loop parallelizes (row-block partitioning); B is read identically by all
+ranks, so its scatter becomes one V-Bus broadcast; C is WriteFirst and is
+collected back to the master.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["source", "init_arrays", "reference", "SIZES"]
+
+#: The matrix sizes of Table 1.
+SIZES = (256, 512, 1024)
+
+
+def source(n: int = 1024) -> str:
+    """Fortran source of MM for an n x n problem."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return f"""
+      PROGRAM MM
+      PARAMETER (N = {n})
+      REAL*8 A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          C(I,J) = 0.0
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def init_arrays(n: int, seed: int = 7) -> Dict[str, np.ndarray]:
+    """Random input matrices for the run (master-side initial memory)."""
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.standard_normal((n, n)),
+        "B": rng.standard_normal((n, n)),
+    }
+
+
+def reference(init: Dict[str, np.ndarray]) -> np.ndarray:
+    """The expected C for a given initialization."""
+    return init["A"] @ init["B"]

@@ -1,0 +1,138 @@
+"""SWIM-like shallow-water kernel (paper Table 2, SPEC 171.swim shape).
+
+Reproduces the structure the granularity experiment depends on: a
+time-stepping loop (ITMAX outer iterations) around three parallel sweeps
+— CALC1 (compute capital-U/V, vorticity, height), CALC2 (new time level
+from stencils), CALC3 (time level copy-back) — over ``REAL*8`` grids.
+Column-partitioned stencil sweeps produce per-column contiguous regions
+with halo columns, so fine-grain communication is already contiguous and
+the middle grain buys nothing (the paper reports "poor results at the
+Middle grain" for SWIM), while coarse aggregation removes per-column
+message setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["source", "init_arrays", "reference_step", "DEFAULT_N"]
+
+DEFAULT_N = 512
+
+
+def source(n: int = DEFAULT_N, itmax: int = 1) -> str:
+    """Fortran source for an n x n grid and ``itmax`` time steps."""
+    if n < 8:
+        raise ValueError("grid too small for the stencils")
+    return f"""
+      PROGRAM SWIM
+      PARAMETER (N = {n}, ITMAX = {itmax})
+      REAL*8 U(N,N), V(N,N), P(N,N)
+      REAL*8 UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      REAL*8 CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      REAL*8 TDT, FSDX, FSDY
+      INTEGER I, J, NC
+      TDT = 0.02
+      FSDX = 4.0 / 0.25
+      FSDY = 4.0 / 0.25
+C     initial height/velocity fields
+      DO J = 1, N
+        DO I = 1, N
+          P(I,J) = 2.0 + 0.1 * COS(0.3 * DBLE(I)) * SIN(0.2 * DBLE(J))
+          U(I,J) = 0.1 * SIN(0.25 * DBLE(I + J))
+          V(I,J) = 0.1 * COS(0.2 * DBLE(I - J))
+        ENDDO
+      ENDDO
+      DO NC = 1, ITMAX
+C     CALC1: mass fluxes, vorticity, height
+        DO J = 1, N-1
+          DO I = 1, N-1
+            CU(I+1,J) = 0.5 * (P(I+1,J) + P(I,J)) * U(I+1,J)
+            CV(I,J+1) = 0.5 * (P(I,J+1) + P(I,J)) * V(I,J+1)
+            Z(I+1,J+1) = (FSDX * (V(I+1,J+1) - V(I,J+1)) - FSDY *
+     &        (U(I+1,J+1) - U(I+1,J))) /
+     &        (P(I,J) + P(I+1,J) + P(I+1,J+1) + P(I,J+1))
+            H(I,J) = P(I,J) + 0.25 * (U(I+1,J) * U(I+1,J)
+     &        + U(I,J) * U(I,J)
+     &        + V(I,J+1) * V(I,J+1) + V(I,J) * V(I,J))
+          ENDDO
+        ENDDO
+C     CALC2: new time level
+        DO J = 2, N-1
+          DO I = 2, N-1
+            UNEW(I,J) = U(I,J) + TDT * 0.5 * (Z(I,J+1) + Z(I,J))
+     &        * (CV(I,J) + CV(I-1,J)) - TDT * (H(I,J) - H(I-1,J))
+            VNEW(I,J) = V(I,J) - TDT * 0.5 * (Z(I+1,J) + Z(I,J))
+     &        * (CU(I,J) + CU(I,J-1)) - TDT * (H(I,J) - H(I,J-1))
+            PNEW(I,J) = P(I,J) - TDT * (CU(I+1,J) - CU(I,J))
+     &        - TDT * (CV(I,J+1) - CV(I,J))
+          ENDDO
+        ENDDO
+C     CALC3: advance the time levels
+        DO J = 2, N-1
+          DO I = 2, N-1
+            U(I,J) = UNEW(I,J)
+            V(I,J) = VNEW(I,J)
+            P(I,J) = PNEW(I,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def init_arrays(n: int) -> Dict[str, np.ndarray]:
+    """No external inputs: SWIM initializes its own fields."""
+    return {}
+
+
+def reference_step(n: int, itmax: int = 1) -> Dict[str, np.ndarray]:
+    """NumPy reference of the full computation (for correctness tests)."""
+    i = np.arange(1, n + 1, dtype=np.float64)[:, None]
+    j = np.arange(1, n + 1, dtype=np.float64)[None, :]
+    P = 2.0 + 0.1 * np.cos(0.3 * i) * np.sin(0.2 * j)
+    U = 0.1 * np.sin(0.25 * (i + j))
+    V = 0.1 * np.cos(0.2 * (i - j))
+    TDT, FSDX, FSDY = 0.02, 16.0, 16.0
+    CU = np.zeros((n, n))
+    CV = np.zeros((n, n))
+    Z = np.zeros((n, n))
+    H = np.zeros((n, n))
+    UNEW = np.zeros((n, n))
+    VNEW = np.zeros((n, n))
+    PNEW = np.zeros((n, n))
+    for _ in range(itmax):
+        s = slice(0, n - 1)
+        s1 = slice(1, n)
+        CU[s1, s] = 0.5 * (P[s1, s] + P[s, s]) * U[s1, s]
+        CV[s, s1] = 0.5 * (P[s, s1] + P[s, s]) * V[s, s1]
+        Z[s1, s1] = (
+            FSDX * (V[s1, s1] - V[s, s1]) - FSDY * (U[s1, s1] - U[s1, s])
+        ) / (P[s, s] + P[s1, s] + P[s1, s1] + P[s, s1])
+        H[s, s] = P[s, s] + 0.25 * (
+            U[s1, s] ** 2 + U[s, s] ** 2 + V[s, s1] ** 2 + V[s, s] ** 2
+        )
+        c = slice(1, n - 1)
+        cm = slice(0, n - 2)
+        cp = slice(2, n)
+        UNEW[c, c] = (
+            U[c, c]
+            + TDT * 0.5 * (Z[c, cp] + Z[c, c]) * (CV[c, c] + CV[cm, c])
+            - TDT * (H[c, c] - H[cm, c])
+        )
+        VNEW[c, c] = (
+            V[c, c]
+            - TDT * 0.5 * (Z[cp, c] + Z[c, c]) * (CU[c, c] + CU[c, cm])
+            - TDT * (H[c, c] - H[c, cm])
+        )
+        PNEW[c, c] = (
+            P[c, c]
+            - TDT * (CU[cp, c] - CU[c, c])
+            - TDT * (CV[c, cp] - CV[c, c])
+        )
+        U[c, c] = UNEW[c, c]
+        V[c, c] = VNEW[c, c]
+        P[c, c] = PNEW[c, c]
+    return {"U": U, "V": V, "P": P, "CU": CU, "CV": CV, "Z": Z, "H": H}

@@ -1,0 +1,183 @@
+"""Synthetic microkernels for the figure reproductions and ablations."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "stride_kernel",
+    "phased_stride_kernel",
+    "copy_kernel",
+    "reduction_kernel",
+    "triangular_kernel",
+    "avpg_chain",
+    "figure9_kernel",
+]
+
+
+def stride_kernel(n: int, stride: int) -> str:
+    """Writes every ``stride``-th element: A(stride*(I-1)+1) = f(I).
+
+    The granularity crossover workload: fine grain needs strided
+    (programmed-I/O) collects; middle inflates bytes by ~``stride``;
+    coarse sends one bounding region.  Sweeping ``stride`` maps the
+    middle-vs-fine crossover (PIO per-element cost vs DMA per-byte cost),
+    the regime distinction behind the paper's CFFZINIT (stride 2, middle
+    wins) vs MM/SWIM (middle buys nothing or loses) results.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    size = stride * (n - 1) + 1
+    return f"""
+      PROGRAM STRIDEK
+      PARAMETER (N = {n}, NS = {size})
+      REAL*8 A(NS), B(N)
+      INTEGER I
+      DO I = 1, N
+        B(I) = DBLE(I) * 0.5
+      ENDDO
+      DO I = 1, N
+        A({stride}*(I-1)+1) = B(I) + 1.0
+      ENDDO
+      END
+"""
+
+
+def phased_stride_kernel(n: int, stride: int) -> str:
+    """Writes all ``stride`` phases of each group, one statement per phase
+    (the generalized CFFZINIT pattern: interleaved-component tables).
+
+    Every statement's LMAD has the given stride, but their union covers
+    the region densely — so the §5.6 bound check allows middle/coarse
+    collects, exposing the PIO-vs-redundant-DMA crossover as the stride
+    grows.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    size = stride * n
+    stmts = "\n".join(
+        f"        A({stride}*(I-1)+{p}) = B(I) + {float(p)}"
+        for p in range(1, stride + 1)
+    )
+    return f"""
+      PROGRAM PHASEK
+      PARAMETER (N = {n}, NS = {size})
+      REAL*8 A(NS), B(N)
+      INTEGER I
+      DO I = 1, N
+        B(I) = DBLE(I) * 0.5
+      ENDDO
+      DO I = 1, N
+{stmts}
+      ENDDO
+      END
+"""
+
+
+def copy_kernel(n: int) -> str:
+    """Unit-stride elementwise copy/scale (the trivial parallel loop)."""
+    return f"""
+      PROGRAM COPYK
+      PARAMETER (N = {n})
+      REAL*8 A(N), B(N)
+      INTEGER I
+      DO I = 1, N
+        B(I) = DBLE(I)
+      ENDDO
+      DO I = 1, N
+        A(I) = 2.0 * B(I) + 1.0
+      ENDDO
+      END
+"""
+
+
+def reduction_kernel(n: int) -> str:
+    """Global sum: exercises lock + MPI_ACCUMULATE reduction combining."""
+    return f"""
+      PROGRAM REDK
+      PARAMETER (N = {n})
+      REAL*8 A(N)
+      REAL*8 S
+      INTEGER I
+      DO I = 1, N
+        A(I) = DBLE(I)
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + A(I)
+      ENDDO
+      PRINT *, 'SUM', S
+      END
+"""
+
+
+def triangular_kernel(n: int) -> str:
+    """Triangular nest: DO I / DO J=1,I — cyclic partitioning territory."""
+    return f"""
+      PROGRAM TRIK
+      PARAMETER (N = {n})
+      REAL*8 L(N,N)
+      INTEGER I, J
+      DO I = 1, N
+        DO J = 1, I
+          L(J,I) = DBLE(I) + 0.001 * DBLE(J)
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def avpg_chain(n: int) -> str:
+    """The Figure 7 shape: arrays with Valid/Propagate/Invalid patterns.
+
+    Loop sequence (loop i+0 .. i+3) over arrays A, B, C:
+      * A: used in loop 0, idle in 1-2, used again in loop 3 (Propagate
+        span: its communication is delayed across the middle loops);
+      * B: used in loop 0, never again (Invalid: collect eliminated when
+        B is not in live_out);
+      * C: used in loops 1 and 2.
+    """
+    return f"""
+      PROGRAM AVPGK
+      PARAMETER (N = {n})
+      REAL*8 A(N), B(N), C(N), D(N)
+      INTEGER I
+      DO I = 1, N
+        A(I) = DBLE(I)
+        B(I) = DBLE(2 * I)
+      ENDDO
+      DO I = 1, N
+        C(I) = DBLE(I) * 0.5
+      ENDDO
+      DO I = 1, N
+        D(I) = C(I) + 1.0
+      ENDDO
+      DO I = 1, N
+        D(I) = D(I) + A(I)
+      ENDDO
+      END
+"""
+
+
+def figure9_kernel(n_groups: int = 2) -> str:
+    """The Figure 9 access: REAL A(14,*) touched at stride 3 per group.
+
+    Each group of 14 elements has the pattern {0,3,6,9,12} touched; the
+    figure's fine/middle/coarse regions fall out of the granularity
+    planner applied to the WriteFirst LMAD.
+    """
+    size = 14 * n_groups
+    return f"""
+      PROGRAM FIG9
+      PARAMETER (NG = {n_groups}, NS = {size})
+      REAL*8 A(14, NG)
+      INTEGER I, K
+      DO I = 1, NG
+        DO K = 1, 13, 3
+          A(K, I) = DBLE(K + I)
+        ENDDO
+      ENDDO
+      END
+"""

@@ -1,0 +1,30 @@
+"""Shared helper: run an SPMD generator function across simulated ranks."""
+
+from repro.mpi2 import Mpi2Runtime
+from repro.vbus import build_cluster
+
+
+def run_ranks(nprocs, fn, params=None):
+    """Run ``fn(comm, rank)`` (a generator function) on every rank.
+
+    Returns ``(results, runtime, cluster)`` where ``results[rank]`` is each
+    rank's return value.
+    """
+    cluster = build_cluster(nprocs, params=params)
+    runtime = Mpi2Runtime(cluster)
+    results = {}
+
+    def make_body(r):
+        def body():
+            out = yield from fn(runtime.comm(r), r)
+            results[r] = out
+
+        return body
+
+    for r in range(nprocs):
+        cluster.sim.process(make_body(r)(), name=f"rank{r}")
+    cluster.sim.run()
+    assert len(results) == nprocs, (
+        f"only {sorted(results)} of {nprocs} ranks finished (deadlock?)"
+    )
+    return results, runtime, cluster

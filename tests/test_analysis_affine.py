@@ -1,0 +1,83 @@
+"""Tests for affine integer expressions."""
+
+import pytest
+
+from repro.compiler.analysis.intaffine import Affine, AffineError, affine_from_expr
+from repro.compiler.frontend import fast as F
+
+
+def test_basic_algebra():
+    a = Affine.var("I", 2) + Affine.constant(3)
+    b = Affine.var("J") - Affine.constant(1)
+    c = a + b
+    assert c.const == 2
+    assert c.coef("I") == 2 and c.coef("J") == 1
+
+
+def test_zero_coefficients_dropped():
+    a = Affine.var("I") - Affine.var("I")
+    assert a.is_const and a.const == 0
+    assert a.vars() == set()
+
+
+def test_scale_and_mul():
+    a = (Affine.var("I") + Affine.constant(1)).scale(3)
+    assert a.coef("I") == 3 and a.const == 3
+    b = a * Affine.constant(2)
+    assert b.coef("I") == 6
+    with pytest.raises(AffineError):
+        _ = Affine.var("I") * Affine.var("J")
+
+
+def test_evaluate_and_unbound():
+    a = Affine(5, {"I": 2, "J": -1})
+    assert a.evaluate({"I": 3, "J": 4}) == 7
+    with pytest.raises(AffineError):
+        a.evaluate({"I": 3})
+
+
+def test_substitute():
+    a = Affine(0, {"K": 2})
+    # K := 3*I + 1  =>  2K = 6I + 2
+    out = a.substitute("K", Affine(1, {"I": 3}))
+    assert out.const == 2 and out.coef("I") == 6 and out.coef("K") == 0
+
+
+def test_from_expr_affine_shapes():
+    # 2*I - 1
+    e = F.BinOp("-", F.BinOp("*", F.Num(2), F.Var("I")), F.Num(1))
+    a = affine_from_expr(e)
+    assert a.coef("I") == 2 and a.const == -1
+
+
+def test_from_expr_env_binds_scalars():
+    e = F.BinOp("+", F.Var("I"), F.Var("N"))
+    a = affine_from_expr(e, {"N": 10})
+    assert a.const == 10 and a.coef("I") == 1
+
+
+def test_from_expr_rejects_nonaffine():
+    assert affine_from_expr(F.BinOp("*", F.Var("I"), F.Var("J"))) is None
+    assert affine_from_expr(F.Intrinsic("MOD", [F.Var("I"), F.Num(2)])) is None
+    assert affine_from_expr(F.Num(2.5, is_int=False)) is None
+
+
+def test_from_expr_exact_division():
+    # (4*I + 8) / 4 -> I + 2
+    e = F.BinOp(
+        "/",
+        F.BinOp("+", F.BinOp("*", F.Num(4), F.Var("I")), F.Num(8)),
+        F.Num(4),
+    )
+    a = affine_from_expr(e)
+    assert a.coef("I") == 1 and a.const == 2
+
+
+def test_from_expr_inexact_division_rejected():
+    e = F.BinOp("/", F.Var("I"), F.Num(2))
+    assert affine_from_expr(e) is None
+
+
+def test_str_roundtrip_smoke():
+    assert str(Affine(0)) == "0"
+    assert "I" in str(Affine.var("I"))

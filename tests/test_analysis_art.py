@@ -1,0 +1,404 @@
+"""Tests for the Access Region Test and parallelism detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.analysis.art import test_loop_parallel as art_verdict
+from repro.compiler.analysis.parallel import detect_parallelism
+from repro.compiler.analysis.reduction import find_reductions
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+
+
+def unit_of(src):
+    return lower_program(parse(src)).main
+
+
+def first_loop(unit):
+    return unit.body[0] if isinstance(unit.body[0], F.Do) else unit.body[1]
+
+
+def verdict(src):
+    unit = unit_of(src)
+    loop = first_loop(unit)
+    return art_verdict(loop, unit.symtab)
+
+
+def test_independent_elementwise():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(100), B(100)
+      DO I = 1, 100
+        A(I) = B(I) * 2.0
+      ENDDO
+      END
+""")
+    assert r.independent
+
+
+def test_flow_dependence_detected():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(101)
+      DO I = 1, 100
+        A(I+1) = A(I)
+      ENDDO
+      END
+""")
+    assert not r.independent
+
+
+def test_anti_dependence_detected():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(101)
+      DO I = 1, 100
+        A(I) = A(I+1)
+      ENDDO
+      END
+""")
+    assert not r.independent
+
+
+def test_output_dependence_same_location():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(100)
+      DO I = 1, 100
+        A(1) = I
+      ENDDO
+      END
+""")
+    assert not r.independent
+
+
+def test_stride_disjoint_writes_independent():
+    # Writes evens, reads odds: no cross-iteration conflict.
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(201)
+      DO I = 1, 100
+        A(2*I) = A(2*I+1)
+      ENDDO
+      END
+""")
+    assert r.independent
+
+
+def test_offset_halves_independent():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(200)
+      DO I = 1, 100
+        A(I) = A(I+100)
+      ENDDO
+      END
+""")
+    assert r.independent
+
+
+def test_offset_overlap_dependent():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(200)
+      DO I = 1, 100
+        A(I) = A(I+50)
+      ENDDO
+      END
+""")
+    assert not r.independent
+
+
+def test_matmul_outer_loop_independent():
+    r = verdict("""
+      PROGRAM P
+      PARAMETER (N = 16)
+      REAL*8 A(N,N), B(N,N), C(N,N)
+      DO I = 1, N
+        DO J = 1, N
+          C(I,J) = 0.0
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+""")
+    assert r.independent
+
+
+def test_inner_loop_parallel_under_serial_outer():
+    """Outer recurrence serial, inner loop parallel (outer var cancels)."""
+    unit = unit_of("""
+      PROGRAM P
+      PARAMETER (N = 16)
+      REAL*8 A(N,N)
+      DO I = 2, N
+        DO J = 1, N
+          A(J,I) = A(J,I-1) + 1.0
+        ENDDO
+      ENDDO
+      END
+""")
+    outer = unit.body[0]
+    r_outer = art_verdict(outer, unit.symtab)
+    assert not r_outer.independent
+    inner = outer.body[0]
+    r_inner = art_verdict(inner, unit.symtab)
+    assert r_inner.independent
+
+
+def test_nonaffine_subscript_conservative():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(100)
+      INTEGER IDX(100)
+      DO I = 1, 100
+        A(IDX(I)) = 1.0
+      ENDDO
+      END
+""")
+    assert not r.independent
+
+
+def test_single_iteration_loop_trivially_parallel():
+    r = verdict("""
+      PROGRAM P
+      REAL*8 A(10)
+      DO I = 5, 5
+        A(1) = A(2)
+      ENDDO
+      END
+""")
+    assert r.independent
+
+
+# ---------------------------------------------------------------------------
+# Reduction recognition
+# ---------------------------------------------------------------------------
+
+
+def loop_of(src):
+    return first_loop(unit_of(src))
+
+
+def test_sum_reduction_recognized():
+    loop = loop_of("""
+      PROGRAM P
+      REAL*8 A(100)
+      REAL*8 S
+      DO I = 1, 100
+        S = S + A(I)
+      ENDDO
+      END
+""")
+    assert find_reductions(loop) == [("S", "+")]
+
+
+def test_minus_and_reversed_forms():
+    loop = loop_of("""
+      PROGRAM P
+      REAL*8 A(100)
+      REAL*8 S, T
+      DO I = 1, 100
+        S = S - A(I)
+        T = A(I) + T
+      ENDDO
+      END
+""")
+    assert sorted(find_reductions(loop)) == [("S", "+"), ("T", "+")]
+
+
+def test_max_reduction():
+    loop = loop_of("""
+      PROGRAM P
+      REAL*8 A(100)
+      REAL*8 M
+      DO I = 1, 100
+        M = MAX(M, A(I))
+      ENDDO
+      END
+""")
+    assert find_reductions(loop) == [("M", "MAX")]
+
+
+def test_reduction_disqualified_by_other_use():
+    loop = loop_of("""
+      PROGRAM P
+      REAL*8 A(100), B(100)
+      REAL*8 S
+      DO I = 1, 100
+        S = S + A(I)
+        B(I) = S
+      ENDDO
+      END
+""")
+    assert find_reductions(loop) == []
+
+
+def test_reduction_disqualified_by_mixed_ops():
+    loop = loop_of("""
+      PROGRAM P
+      REAL*8 A(100)
+      REAL*8 S
+      DO I = 1, 100
+        S = S + A(I)
+        S = S * 2.0
+      ENDDO
+      END
+""")
+    assert find_reductions(loop) == []
+
+
+# ---------------------------------------------------------------------------
+# Whole-unit detection driver
+# ---------------------------------------------------------------------------
+
+
+def test_detect_parallelism_marks_and_logs():
+    unit = unit_of("""
+      PROGRAM P
+      PARAMETER (N = 32)
+      REAL*8 A(N), B(N), C(N)
+      REAL*8 S
+      DO I = 1, N
+        A(I) = B(I)
+      ENDDO
+      DO I = 2, N
+        C(I) = C(I-1)
+      ENDDO
+      DO I = 1, N
+        S = S + A(I)
+      ENDDO
+      END
+""")
+    log = detect_parallelism(unit)
+    loops = [s for s in unit.body if isinstance(s, F.Do)]
+    assert loops[0].parallel
+    assert not loops[1].parallel
+    assert loops[2].parallel
+    assert loops[2].reductions == [("S", "+")]
+    assert "serial" in str(log)
+
+
+def test_detect_descends_into_serial_outer():
+    unit = unit_of("""
+      PROGRAM P
+      PARAMETER (N = 16)
+      REAL*8 A(N,N)
+      DO I = 2, N
+        DO J = 1, N
+          A(J,I) = A(J,I-1) + 1.0
+        ENDDO
+      ENDDO
+      END
+""")
+    detect_parallelism(unit)
+    outer = unit.body[0]
+    assert not outer.parallel
+    assert outer.body[0].parallel
+
+
+def test_private_scalar_enables_parallelism():
+    unit = unit_of("""
+      PROGRAM P
+      PARAMETER (N = 32)
+      REAL*8 A(N), B(N)
+      REAL*8 T
+      DO I = 1, N
+        T = A(I) * 2.0
+        B(I) = T + 1.0
+      ENDDO
+      END
+""")
+    detect_parallelism(unit)
+    loop = unit.body[0]
+    assert loop.parallel
+    assert "T" in loop.private
+
+
+def test_shared_scalar_blocks_parallelism():
+    unit = unit_of("""
+      PROGRAM P
+      PARAMETER (N = 32)
+      REAL*8 A(N)
+      REAL*8 T
+      T = 0.0
+      DO I = 1, N
+        T = A(I)
+      ENDDO
+      PRINT *, T
+      END
+""")
+    detect_parallelism(unit)
+    loop = [s for s in unit.body if isinstance(s, F.Do)][0]
+    # T = A(I) is last-value semantics, not a reduction: stays serial.
+    assert not loop.parallel
+
+
+def test_directive_overrides_analysis():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(101)
+CSRD$ PARALLEL
+      DO I = 1, 100
+        A(I+1) = A(I)
+      ENDDO
+      END
+""")
+    detect_parallelism(unit)
+    assert unit.body[0].parallel  # user said so
+
+
+# ---------------------------------------------------------------------------
+# Property: ART is conservative w.r.t. brute-force execution
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cw=st.integers(-3, 3),
+    cr=st.integers(-3, 3),
+    dw=st.integers(0, 6),
+    dr=st.integers(0, 6),
+    n=st.integers(2, 12),
+)
+def test_property_art_never_claims_false_independence(cw, cr, dw, dr, n):
+    """Compare ART's verdict on A(cw*I+dw) = A(cr*I+dr) with brute force."""
+    size = 3 * 12 + 7  # large enough for all generated subscripts
+    lo = 1
+    # Fortran subscripts must stay within [1, size].
+    def sub(c, d, i):
+        return c * i + d
+
+    vals = [sub(cw, dw, i) for i in range(lo, lo + n)] + [
+        sub(cr, dr, i) for i in range(lo, lo + n)
+    ]
+    if min(vals) < 1 or max(vals) > size:
+        return  # skip out-of-bounds programs
+
+    src = f"""
+      PROGRAM P
+      REAL*8 A({size})
+      DO I = {lo}, {lo + n - 1}
+        A({cw}*I+{dw}) = A({cr}*I+{dr}) + 1.0
+      ENDDO
+      END
+"""
+    unit = unit_of(src)
+    loop = unit.body[0]
+    r = art_verdict(loop, unit.symtab)
+
+    # Brute force: does any pair of distinct iterations conflict?
+    writes = {i: {sub(cw, dw, i)} for i in range(lo, lo + n)}
+    reads = {i: {sub(cr, dr, i)} for i in range(lo, lo + n)}
+    conflict = any(
+        (writes[i1] & (reads[i2] | writes[i2]))
+        for i1 in writes
+        for i2 in writes
+        if i1 != i2
+    )
+    if r.independent:
+        assert not conflict, f"ART claimed independence but {src} conflicts"

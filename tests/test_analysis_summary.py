@@ -1,0 +1,191 @@
+"""Tests for summary sets and classification (paper §4.2, Figure 5)."""
+
+import pytest
+
+from repro.compiler.analysis.summary import (
+    READ_ONLY,
+    READ_WRITE,
+    WRITE_FIRST,
+    summarize_loop,
+    summarize_statements,
+)
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+
+
+def unit_of(src):
+    return lower_program(parse(src)).main
+
+
+def test_figure5_triply_nested_classification():
+    """Fig 5's shape: A written, B only read, inside DO J/K/I."""
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(100,100,100), B(100,200,101)
+      DO J = 1, 100
+        DO K = 1, 100
+          DO I = 1, 100
+            A(I,J,K) = B(I,2*J,K+1)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+""")
+    loop_j = unit.body[0]
+    summary, ctx = summarize_loop(loop_j, unit.symtab)
+    a = summary.arrays["A"]
+    b = summary.arrays["B"]
+    assert a.classification == WRITE_FIRST
+    assert b.classification == READ_ONLY
+    # The statement-level LMAD of A has strides 1 (I), 100 (J), 10000 (K).
+    strides = sorted(d.stride for d in a.writes[0].dims)
+    assert strides == [1, 100, 10000]
+    # B's J dimension moves with stride 2*100.
+    b_strides = sorted(d.stride for d in b.reads[0].dims)
+    assert 200 in b_strides
+
+
+def test_read_write_classification_for_accumulation():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 C(10)
+      DO I = 1, 10
+        C(I) = C(I) + 1.0
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    assert summary.arrays["C"].classification == READ_WRITE
+
+
+def test_write_then_read_is_write_first():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(10), B(10)
+      DO I = 1, 10
+        A(I) = 2.0
+        B(I) = A(I) * 3.0
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    assert summary.arrays["A"].classification == WRITE_FIRST
+    assert summary.arrays["B"].classification == WRITE_FIRST
+
+
+def test_read_different_region_than_written_is_read_write():
+    # Reads A(I+1) are not covered by writes A(I) within the iteration.
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(11), B(10)
+      DO I = 1, 10
+        B(I) = A(I+1)
+        A(I) = 0.0
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    assert summary.arrays["A"].classification == READ_WRITE
+
+
+def test_conditional_write_forces_read_write():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(10)
+      INTEGER M
+      DO I = 1, 10
+        IF (I .GT. 5) THEN
+          A(I) = 1.0
+        ENDIF
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    assert summary.arrays["A"].classification == READ_WRITE
+
+
+def test_scalar_summaries_track_exposure():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(10)
+      REAL*8 T, S
+      DO I = 1, 10
+        T = A(I) * 2.0
+        A(I) = T
+        S = S + T
+      ENDDO
+      END
+""")
+    loop = unit.body[0]
+    summary = summarize_statements(loop.body, unit.symtab)
+    t = summary.scalars["T"]
+    assert t.written and not t.exposed_read  # written before read: private
+    s = summary.scalars["S"]
+    assert s.written and s.exposed_read  # classic reduction shape
+
+
+def test_loop_indices_not_scalar_summarized():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(10,10)
+      DO I = 1, 10
+        DO J = 1, 10
+          A(I,J) = 1.0
+        ENDDO
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    assert "I" not in summary.scalars
+    assert "J" not in summary.scalars
+
+
+def test_triangular_inner_loop_widens_conservatively():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(10,10)
+      DO I = 1, 10
+        DO J = 1, I
+          A(J,I) = 1.0
+        ENDDO
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    a = summary.arrays["A"]
+    # The widened region must cover everything actually written.
+    touched = {(j - 1) + (i - 1) * 10 for i in range(1, 11) for j in range(1, i + 1)}
+    covered = set()
+    for l in a.writes:
+        covered |= set(l.enumerate().tolist())
+    assert touched <= covered
+
+
+def test_print_items_count_as_reads():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(5)
+      DO I = 1, 5
+        PRINT *, A(I)
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    assert summary.arrays["A"].classification == READ_ONLY
+
+
+def test_classified_helper():
+    unit = unit_of("""
+      PROGRAM P
+      REAL*8 A(5), B(5), C(5)
+      DO I = 1, 5
+        A(I) = B(I) + C(I)
+        C(I) = C(I) * 2.0
+      ENDDO
+      END
+""")
+    summary, _ = summarize_loop(unit.body[0], unit.symtab)
+    names = lambda cls: sorted(a.array for a in summary.classified(cls))
+    assert names(WRITE_FIRST) == ["A"]
+    assert names(READ_ONLY) == ["B"]
+    assert names(READ_WRITE) == ["C"]

@@ -1,0 +1,92 @@
+"""Tests for the Fortran lexer."""
+
+import pytest
+
+from repro.compiler.frontend.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.value) for t in tokenize(src) if t.kind != "NEWLINE"]
+
+
+def test_basic_tokens():
+    toks = kinds("X = A(I,J) + 2.5\n")
+    assert toks == [
+        ("NAME", "X"), ("OP", "="), ("NAME", "A"), ("OP", "("),
+        ("NAME", "I"), ("OP", ","), ("NAME", "J"), ("OP", ")"),
+        ("OP", "+"), ("NUM", "2.5"), ("EOF", ""),
+    ]
+
+
+def test_keywords_case_insensitive():
+    toks = kinds("do i = 1, n\nenddo\n")
+    assert ("KEYWORD", "DO") in toks
+    assert ("KEYWORD", "ENDDO") in toks
+    assert ("NAME", "I") in toks
+
+
+def test_comment_lines_skipped():
+    toks = kinds("C this is a comment\n* star comment\n! bang\nX = 1\n")
+    assert toks[0] == ("NAME", "X")
+
+
+def test_trailing_comment():
+    toks = kinds("X = 1  ! trailing\n")
+    assert ("NUM", "1") in toks
+    assert all(v != "trailing" for _k, v in toks)
+
+
+def test_directive_token():
+    toks = kinds("CSRD$ PARALLEL\nDO I=1,4\nENDDO\n")
+    assert toks[0] == ("DIRECTIVE", "PARALLEL")
+    toks2 = kinds("C$PAR PARALLEL\nDO I=1,4\nENDDO\n")
+    assert toks2[0] == ("DIRECTIVE", "PARALLEL")
+
+
+def test_dot_operators():
+    toks = kinds("IF (A .LT. B .AND. C .GE. 2) THEN\n")
+    vals = [v for _k, v in toks]
+    assert "<" in vals and ".AND." in vals and ">=" in vals
+
+
+def test_modern_relational_ops():
+    toks = kinds("IF (A <= B) THEN\n")
+    assert ("OP", "<=") in toks
+
+
+def test_numeric_literals():
+    toks = kinds("X = 1.5E3 + 2D0 + .5 + 10\n")
+    nums = [v for k, v in toks if k == "NUM"]
+    assert nums == ["1.5E3", "2D0", ".5", "10"]
+
+
+def test_statement_label():
+    toks = kinds("      DO 10 I = 1, 4\n10    CONTINUE\n")
+    assert ("LABEL", "10") in toks
+    assert ("KEYWORD", "CONTINUE") in toks
+
+
+def test_continuation_joins_lines():
+    src = "X = 1 + &\n    2\n"
+    toks = tokenize(src)
+    newlines = [t for t in toks if t.kind == "NEWLINE"]
+    assert len(newlines) == 1  # the two physical lines form one statement
+
+
+def test_string_literal():
+    toks = kinds("PRINT *, 'hello world'\n")
+    assert ("STR", "hello world") in toks
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("PRINT *, 'oops\n")
+
+
+def test_bad_character_raises():
+    with pytest.raises(LexError):
+        tokenize("X = 1 @ 2\n")
+
+
+def test_power_operator():
+    assert ("OP", "**") in kinds("X = Y ** 2\n")

@@ -1,0 +1,208 @@
+"""Tests for lowering: parameter folding, inlining, induction substitution."""
+
+import pytest
+
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.lower import (
+    LowerError,
+    expr_as_int,
+    fold_expr,
+    lower_program,
+)
+from repro.compiler.frontend.parser import parse
+
+
+def lowered(src):
+    return lower_program(parse(src)).main
+
+
+def test_parameters_become_literals():
+    unit = lowered("""
+      PROGRAM P
+      PARAMETER (N = 16)
+      REAL*8 A(N)
+      DO I = 1, N
+        A(I) = N * 2
+      ENDDO
+      END
+""")
+    loop = unit.body[0]
+    assert isinstance(loop.hi, F.Num) and loop.hi.value == 16
+    assign = loop.body[0]
+    assert isinstance(assign.rhs, F.Num) and assign.rhs.value == 32
+
+
+def test_fold_fortran_integer_division():
+    assert expr_as_int(F.BinOp("/", F.Num(7), F.Num(2))) == 3
+    assert expr_as_int(F.BinOp("/", F.Num(-7), F.Num(2))) == -3  # trunc to 0
+
+
+def test_fold_power():
+    e = fold_expr(F.BinOp("**", F.Num(2), F.Num(10)))
+    assert isinstance(e, F.Num) and e.value == 1024
+
+
+def test_nonconstant_step_rejected():
+    src = """
+      PROGRAM P
+      INTEGER M
+      REAL*8 A(10)
+      DO I = 1, 10, M
+        A(I) = 0.0
+      ENDDO
+      END
+"""
+    with pytest.raises(LowerError, match="step"):
+        lowered(src)
+
+
+def test_inlining_substitutes_arrays_and_scalars():
+    unit = lowered("""
+      PROGRAM P
+      REAL*8 V(10)
+      CALL FILL(V)
+      END
+
+      SUBROUTINE FILL(X)
+      REAL*8 X(10)
+      DO I = 1, 10
+        X(I) = 2.0
+      ENDDO
+      END
+""")
+    # The CALL is gone; the loop now writes V directly.
+    loop = unit.body[0]
+    assert isinstance(loop, F.Do)
+    assign = loop.body[0]
+    assert isinstance(assign.lhs, F.ArrayRef) and assign.lhs.name == "V"
+
+
+def test_inlining_renames_callee_locals():
+    unit = lowered("""
+      PROGRAM P
+      REAL*8 V(4)
+      INTEGER T
+      T = 5
+      CALL WORK(V)
+      END
+
+      SUBROUTINE WORK(X)
+      REAL*8 X(4)
+      REAL*8 T
+      T = 1.5
+      X(1) = T
+      END
+""")
+    # The callee's local T must not clobber the caller's T.
+    names = [
+        s.lhs.name
+        for s in F.walk_stmts(unit.body)
+        if isinstance(s, F.Assign) and isinstance(s.lhs, F.Var)
+    ]
+    assert "T" in names
+    renamed = [n for n in names if n.startswith("T_WORK")]
+    assert len(renamed) == 1
+    assert unit.symtab.lookup(renamed[0]) is not None
+
+
+def test_inline_rejects_expression_array_args():
+    src = """
+      PROGRAM P
+      REAL*8 V(4)
+      CALL W(V(2))
+      END
+
+      SUBROUTINE W(X)
+      REAL*8 X(2)
+      X(1) = 0.0
+      END
+"""
+    with pytest.raises(LowerError, match="inlinable"):
+        lowered(src)
+
+
+def test_induction_variable_substitution():
+    unit = lowered("""
+      PROGRAM P
+      REAL*8 A(64)
+      INTEGER KK
+      KK = 0
+      DO I = 1, 10
+        KK = KK + 2
+        A(KK) = 1.0
+      ENDDO
+      END
+""")
+    loop = unit.body[1]
+    # The increment statement is gone; the subscript is affine in I.
+    assert len(loop.body) == 1
+    ref = loop.body[0].lhs
+    vars_in = {
+        e.name for e in F.walk_exprs(ref.subs[0]) if isinstance(e, F.Var)
+    }
+    assert "I" in vars_in
+    # A post-loop update keeps KK live-out correct.
+    post = unit.body[2]
+    assert isinstance(post, F.Assign) and post.lhs.name == "KK"
+
+
+def test_induction_use_before_increment():
+    unit = lowered("""
+      PROGRAM P
+      REAL*8 A(64)
+      INTEGER KK
+      KK = 1
+      DO I = 1, 10
+        A(KK) = 1.0
+        KK = KK + 3
+      ENDDO
+      END
+""")
+    loop = unit.body[1]
+    assert len(loop.body) == 1  # increment removed
+    sub = loop.body[0].lhs.subs[0]
+    vars_in = {e.name for e in F.walk_exprs(sub) if isinstance(e, F.Var)}
+    assert vars_in == {"KK", "I"}
+
+
+def test_induction_skips_noninteger():
+    unit = lowered("""
+      PROGRAM P
+      REAL*8 A(64)
+      REAL*8 S
+      DO I = 1, 10
+        S = S + 2.0
+        A(I) = S
+      ENDDO
+      END
+""")
+    loop = unit.body[0]
+    assert len(loop.body) == 2  # untouched: S is REAL (a reduction, not IV)
+
+
+def test_loop_ids_assigned_in_program_order():
+    unit = lowered("""
+      PROGRAM P
+      REAL*8 A(4)
+      DO I = 1, 4
+        A(I) = 0.0
+      ENDDO
+      DO J = 1, 4
+        DO K = 1, 4
+          A(J) = A(K)
+        ENDDO
+      ENDDO
+      END
+""")
+    ids = [s.loop_id for s in F.walk_stmts(unit.body) if isinstance(s, F.Do)]
+    assert ids == [0, 1, 2]
+
+
+def test_call_to_unknown_subroutine_rejected():
+    src = """
+      PROGRAM P
+      CALL NOPE()
+      END
+"""
+    with pytest.raises(LowerError, match="no such subroutine"):
+        lowered(src)

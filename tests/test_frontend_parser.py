@@ -1,0 +1,267 @@
+"""Tests for the Fortran parser and symbol tables."""
+
+import pytest
+
+from repro.compiler.frontend import fast as F
+from repro.compiler.frontend.parser import ParseError, parse
+
+MM_SRC = """
+      PROGRAM MM
+      PARAMETER (N = 8)
+      REAL*8 A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          C(I,J) = 0.0
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def test_parse_program_structure():
+    prog = parse(MM_SRC)
+    assert len(prog.units) == 1
+    unit = prog.main
+    assert unit.kind == "program"
+    assert unit.name == "MM"
+    assert len(unit.body) == 1
+    assert isinstance(unit.body[0], F.Do)
+
+
+def test_symbol_table_arrays_and_params():
+    unit = parse(MM_SRC).main
+    a = unit.symtab.lookup("A")
+    assert a.is_array and a.dims == [(1, 8), (1, 8)]
+    assert a.ftype == "REAL*8"
+    n = unit.symtab.lookup("N")
+    assert n.is_param and n.param_value == 8
+    i = unit.symtab.lookup("I")
+    assert not i.is_array and i.ftype == "INTEGER"
+
+
+def test_column_major_flattening():
+    unit = parse(MM_SRC).main
+    a = unit.symtab.lookup("A")
+    assert a.multipliers() == [1, 8]
+    assert a.flatten([1, 1]) == 0
+    assert a.flatten([2, 1]) == 1
+    assert a.flatten([1, 2]) == 8
+    assert a.size == 64
+
+
+def test_nested_do_structure():
+    unit = parse(MM_SRC).main
+    outer = unit.body[0]
+    assert outer.var == "I"
+    inner = outer.body[0]
+    assert inner.var == "J"
+    assert isinstance(inner.body[0], F.Assign)
+    assert isinstance(inner.body[1], F.Do)
+
+
+def test_do_with_step_and_label():
+    src = """
+      PROGRAM P
+      REAL*8 A(20)
+      DO 10 I = 1, 11, 2
+        A(I) = 1.0
+10    CONTINUE
+      END
+"""
+    unit = parse(src).main
+    loop = unit.body[0]
+    assert isinstance(loop, F.Do)
+    assert loop.label == "10"
+    assert isinstance(loop.step, F.Num) and loop.step.value == 2
+
+
+def test_parallel_directive_marks_loop():
+    src = """
+      PROGRAM P
+      REAL*8 A(4)
+CSRD$ PARALLEL
+      DO I = 1, 4
+        A(I) = I
+      ENDDO
+      END
+"""
+    unit = parse(src).main
+    assert unit.body[0].parallel is True
+
+
+def test_if_then_else():
+    src = """
+      PROGRAM P
+      INTEGER I
+      IF (I .LT. 5) THEN
+        I = 1
+      ELSE IF (I .EQ. 5) THEN
+        I = 2
+      ELSE
+        I = 3
+      ENDIF
+      END
+"""
+    unit = parse(src).main
+    node = unit.body[0]
+    assert isinstance(node, F.If)
+    assert isinstance(node.cond, F.RelOp) and node.cond.op == "<"
+    assert len(node.elifs) == 1
+    assert len(node.orelse) == 1
+
+
+def test_one_line_logical_if():
+    src = """
+      PROGRAM P
+      INTEGER I
+      IF (I .GT. 0) I = 0
+      END
+"""
+    unit = parse(src).main
+    node = unit.body[0]
+    assert isinstance(node, F.If)
+    assert isinstance(node.then[0], F.Assign)
+    assert node.orelse == []
+
+
+def test_subroutine_and_call():
+    src = """
+      PROGRAM P
+      REAL*8 A(10)
+      CALL INIT(A)
+      END
+
+      SUBROUTINE INIT(X)
+      REAL*8 X(10)
+      DO I = 1, 10
+        X(I) = 0.0
+      ENDDO
+      END
+"""
+    prog = parse(src)
+    assert len(prog.units) == 2
+    call = prog.main.body[0]
+    assert isinstance(call, F.Call) and call.name == "INIT"
+    sub = prog.unit("INIT")
+    assert sub.args == ["X"]
+    assert sub.symtab.lookup("X").is_array
+
+
+def test_intrinsics_parse():
+    src = """
+      PROGRAM P
+      REAL*8 X
+      X = SQRT(2.0) + COS(X) * MOD(5, 2)
+      END
+"""
+    unit = parse(src).main
+    rhs = unit.body[0].rhs
+    names = [e.name for e in F.walk_exprs(rhs) if isinstance(e, F.Intrinsic)]
+    assert set(names) == {"SQRT", "COS", "MOD"}
+
+
+def test_undeclared_subscripted_name_rejected():
+    src = """
+      PROGRAM P
+      X = Q(3) + 1
+      END
+"""
+    with pytest.raises(ParseError, match="not declared as an array"):
+        parse(src)
+
+
+def test_operator_precedence():
+    src = """
+      PROGRAM P
+      REAL*8 X
+      X = 1 + 2 * 3 ** 2
+      END
+"""
+    rhs = parse(src).main.body[0].rhs
+    # 1 + (2 * (3 ** 2))
+    assert rhs.op == "+"
+    assert rhs.right.op == "*"
+    assert rhs.right.right.op == "**"
+
+
+def test_unary_minus():
+    src = """
+      PROGRAM P
+      REAL*8 X
+      X = -X + (-2)
+      END
+"""
+    rhs = parse(src).main.body[0].rhs
+    assert isinstance(rhs.left, F.UnOp)
+
+
+def test_parameter_expression_folding():
+    src = """
+      PROGRAM P
+      PARAMETER (N = 4, M = 2*N + 1)
+      REAL*8 A(M)
+      END
+"""
+    unit = parse(src).main
+    assert unit.symtab.lookup("M").param_value == 9
+    assert unit.symtab.lookup("A").dims == [(1, 9)]
+
+
+def test_print_statement():
+    src = """
+      PROGRAM P
+      REAL*8 X
+      PRINT *, 'value', X
+      END
+"""
+    stmt = parse(src).main.body[0]
+    assert isinstance(stmt, F.PrintStmt)
+    assert isinstance(stmt.items[0], F.Str)
+
+
+def test_goto_rejected():
+    src = """
+      PROGRAM P
+      GOTO 10
+      END
+"""
+    with pytest.raises(ParseError, match="GOTO"):
+        parse(src)
+
+
+def test_implicit_none_enforced():
+    src = """
+      PROGRAM P
+      IMPLICIT NONE
+      X = 1
+      END
+"""
+    with pytest.raises(Exception):
+        parse(src)
+
+
+def test_dimension_statement():
+    src = """
+      PROGRAM P
+      DIMENSION A(5,5)
+      REAL*8 A
+      END
+"""
+    unit = parse(src).main
+    a = unit.symtab.lookup("A")
+    assert a.dims == [(1, 5), (1, 5)]
+
+
+def test_explicit_bounds():
+    src = """
+      PROGRAM P
+      REAL*8 A(0:9)
+      END
+"""
+    a = parse(src).main.symtab.lookup("A")
+    assert a.dims == [(0, 9)]
+    assert a.size == 10

@@ -1,0 +1,150 @@
+"""Integration variants: alternative loop orders, multi-step stencils,
+and mixed program shapes — the compiled result must always equal the
+sequential one."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.executor import run_program, run_sequential
+from repro.workloads import mm, swim
+
+
+def mm_variant(order: str, n: int) -> str:
+    """MM with a chosen loop order (all compute the same C)."""
+    loops = {"i": "I = 1, N", "j": "J = 1, N", "k": "K = 1, N"}
+    l1, l2, l3 = order
+    return f"""
+      PROGRAM MMV
+      PARAMETER (N = {n})
+      REAL*8 A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          C(I,J) = 0.0
+        ENDDO
+      ENDDO
+      DO {loops[l1]}
+        DO {loops[l2]}
+          DO {loops[l3]}
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+@pytest.mark.parametrize("order", ["ijk", "jik", "ikj", "jki", "kij"])
+def test_mm_loop_orders(order):
+    """Every loop order compiles and computes A@B.
+
+    Orders with K outermost make the accumulation loop the candidate —
+    the detector must reject K (C(I,J) written by every K iteration) and
+    find the parallel loop deeper, or keep the nest serial; either way
+    results must be exact.
+    """
+    n = 10
+    init = mm.init_arrays(n)
+    prog = compile_source(mm_variant(order, n), nprocs=4, granularity="fine")
+    par = run_program(prog, init=init)
+    assert np.allclose(par.memory.shaped("C"), mm.reference(init))
+
+
+@pytest.mark.parametrize("order", ["ijk", "jik"])
+def test_mm_variant_outer_parallelized(order):
+    prog = compile_source(mm_variant(order, 12), nprocs=4)
+    # The compute nest's outermost loop parallelizes for i/j-outer orders.
+    assert len(prog.parallel_regions()) == 2  # init nest + compute nest
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4])
+@pytest.mark.parametrize("itmax", [1, 3])
+def test_swim_steps_and_ranks(nprocs, itmax):
+    n = 12
+    prog = compile_source(
+        swim.source(n, itmax), nprocs=nprocs, granularity="coarse"
+    )
+    par = run_program(prog)
+    ref = swim.reference_step(n, itmax)
+    for name in ("U", "V", "P"):
+        assert np.allclose(par.memory.shaped(name), ref[name]), (
+            name,
+            nprocs,
+            itmax,
+        )
+
+
+def test_two_reductions_in_one_loop():
+    src = """
+      PROGRAM P
+      PARAMETER (N = 40)
+      REAL*8 A(N)
+      REAL*8 S, M
+      INTEGER I
+      DO I = 1, N
+        A(I) = SIN(DBLE(I))
+      ENDDO
+      S = 0.0
+      M = -10.0
+      DO I = 1, N
+        S = S + A(I)
+        M = MAX(M, A(I))
+      ENDDO
+      PRINT *, S, M
+      END
+"""
+    prog = compile_source(src, nprocs=4)
+    loopz = prog.parallel_regions()
+    assert any(len(r.loop.reductions) == 2 for r in loopz)
+    seq = run_sequential(prog)
+    par = run_program(prog)
+    assert par.stdout == seq.stdout
+
+
+def test_scalar_carried_between_regions():
+    """A master-computed scalar feeds a later parallel region's bounds
+    and body through the replicated environment."""
+    src = """
+      PROGRAM P
+      PARAMETER (N = 32)
+      REAL*8 A(N)
+      REAL*8 SCALE
+      INTEGER I, LIMIT
+      SCALE = 2.0
+      LIMIT = N / 2
+      DO I = 1, LIMIT
+        A(I) = SCALE * DBLE(I)
+      ENDDO
+      SCALE = SCALE + 1.0
+      DO I = 1, LIMIT
+        A(I) = A(I) * SCALE
+      ENDDO
+      END
+"""
+    prog = compile_source(src, nprocs=4, granularity="fine")
+    seq = run_sequential(prog)
+    par = run_program(prog)
+    assert np.array_equal(par.memory.array("A"), seq.memory.array("A"))
+    assert par.memory.array("A")[0] == pytest.approx(6.0)
+    assert par.memory.array("A")[16:].sum() == 0.0
+
+
+def test_empty_iteration_parallel_loop():
+    """A parallel loop whose range is empty at runtime is harmless."""
+    src = """
+      PROGRAM P
+      PARAMETER (N = 8)
+      REAL*8 A(N)
+      INTEGER I
+      DO I = 1, N
+        A(I) = 1.0
+      ENDDO
+      DO I = 5, 4
+        A(I) = 99.0
+      ENDDO
+      END
+"""
+    prog = compile_source(src, nprocs=4)
+    par = run_program(prog)
+    assert par.memory.array("A").tolist() == [1.0] * 8

@@ -1,0 +1,208 @@
+"""Tests for collectives: barrier, bcast, scatter, gather, reductions."""
+
+import numpy as np
+import pytest
+
+from repro.mpi2 import MAX, MIN, PROD, SUM, MpiError
+from repro.vbus.params import ClusterParams, LinkParams, cluster_for
+
+from tests.mpiutil import run_ranks
+
+#: A V-Bus cluster with the hardware broadcast disabled (software tree).
+NO_HW_BCAST = cluster_for(4, ClusterParams(vbus_broadcast=False))
+
+
+def test_barrier_synchronizes_ranks():
+    arrival = {}
+
+    def body(comm, rank):
+        yield comm.sim.timeout(rank * 1e-3)  # stagger arrivals
+        yield from comm.barrier()
+        arrival[rank] = comm.sim.now
+        return None
+
+    run_ranks(4, body)
+    # Everyone leaves the barrier at (essentially) the same time, after the
+    # slowest arrival.
+    times = list(arrival.values())
+    assert max(times) - min(times) < 1e-9
+    assert min(times) >= 3e-3
+
+
+def test_bcast_hw_delivers_to_all():
+    def body(comm, rank):
+        data = {"key1": [7, 2.72], "key2": ("abc", "xyz")} if rank == 0 else None
+        data = yield from comm.bcast(data, root=0)
+        return data
+
+    results, _rt, cl = run_ranks(4, body)
+    for r in range(4):
+        assert results[r] == {"key1": [7, 2.72], "key2": ("abc", "xyz")}
+    assert cl.vbusctl.broadcast_count == 1
+
+
+def test_bcast_numpy_isolated_copies():
+    def body(comm, rank):
+        data = np.arange(10.0) if rank == 0 else None
+        data = yield from comm.bcast(data, root=0)
+        data[0] += rank  # must not leak to other ranks
+        return data[0]
+
+    results, _rt, _cl = run_ranks(4, body)
+    assert results == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+
+def test_bcast_nonzero_root():
+    def body(comm, rank):
+        data = "payload" if rank == 2 else None
+        data = yield from comm.bcast(data, root=2)
+        return data
+
+    results, _rt, _cl = run_ranks(4, body)
+    assert all(v == "payload" for v in results.values())
+
+
+def test_bcast_software_tree_matches_hw_values():
+    def body(comm, rank):
+        data = np.full(50, 3.5) if rank == 1 else None
+        data = yield from comm.bcast(data, root=1)
+        return float(data.sum())
+
+    results, _rt, cl = run_ranks(4, body, params=NO_HW_BCAST)
+    assert all(v == pytest.approx(175.0) for v in results.values())
+    assert cl.vbusctl.broadcast_count == 0  # tree used point-to-point sends
+
+
+def test_bcast_tree_on_five_ranks():
+    def body(comm, rank):
+        data = rank if rank == 0 else None
+        data = yield from comm.bcast(data, root=0)
+        return data
+
+    params = cluster_for(5, ClusterParams(vbus_broadcast=False))
+    results, _rt, _cl = run_ranks(5, body, params=params)
+    assert all(v == 0 for v in results.values())
+
+
+def test_hw_bcast_faster_than_tree_for_large_payload():
+    def body(comm, rank):
+        data = np.zeros(250_000) if rank == 0 else None  # 2 MB
+        yield from comm.bcast(data, root=0)
+        return comm.sim.now
+
+    hw, _rt, _cl = run_ranks(4, body)
+    sw, _rt2, _cl2 = run_ranks(4, body, params=NO_HW_BCAST)
+    assert max(hw.values()) < max(sw.values())
+
+
+def test_scatter():
+    def body(comm, rank):
+        items = [(i + 1) ** 2 for i in range(comm.size)] if rank == 0 else None
+        item = yield from comm.scatter(items, root=0)
+        return item
+
+    results, _rt, _cl = run_ranks(4, body)
+    assert results == {0: 1, 1: 4, 2: 9, 3: 16}
+
+
+def test_scatter_requires_exact_list():
+    def body(comm, rank):
+        if rank == 0:
+            with pytest.raises(MpiError):
+                yield from comm.scatter([1, 2], root=0)
+        # Other ranks do not join a broken scatter.
+        return None
+        yield
+
+    run_ranks(1, body)
+
+
+def test_gather():
+    def body(comm, rank):
+        data = yield from comm.gather((rank + 1) ** 2, root=0)
+        return data
+
+    results, _rt, _cl = run_ranks(4, body)
+    assert results[0] == [1, 4, 9, 16]
+    assert results[1] is None
+
+
+def test_allgather():
+    def body(comm, rank):
+        data = yield from comm.allgather(rank * 2)
+        return data
+
+    results, _rt, _cl = run_ranks(4, body)
+    for r in range(4):
+        assert results[r] == [0, 2, 4, 6]
+
+
+@pytest.mark.parametrize(
+    "op,expect", [(SUM, 6), (PROD, 0), (MAX, 3), (MIN, 0)]
+)
+def test_reduce_ops(op, expect):
+    def body(comm, rank):
+        out = yield from comm.reduce(rank, op, root=0)
+        return out
+
+    results, _rt, _cl = run_ranks(4, body)
+    assert results[0] == expect
+    assert results[2] is None
+
+
+def test_reduce_numpy_elementwise():
+    def body(comm, rank):
+        vec = np.full(5, float(rank + 1))
+        out = yield from comm.allreduce(vec, SUM)
+        return out
+
+    results, _rt, _cl = run_ranks(4, body)
+    for r in range(4):
+        assert np.array_equal(results[r], np.full(5, 10.0))
+
+
+def test_reduce_rejects_plain_callable():
+    def body(comm, rank):
+        with pytest.raises(MpiError):
+            yield from comm.reduce(1, max, root=0)
+        return None
+        yield
+
+    run_ranks(1, body)
+
+
+def test_collective_mismatch_detected():
+    def body(comm, rank):
+        if rank == 0:
+            yield from comm.barrier()
+        else:
+            with pytest.raises(MpiError):
+                yield from comm.bcast(1, root=0)
+            # Join the barrier so rank 0 can finish.
+            comm._coll_ordinal -= 1
+            yield from comm.barrier()
+        return None
+
+    run_ranks(2, body)
+
+
+def test_collectives_single_rank():
+    def body(comm, rank):
+        yield from comm.barrier()
+        b = yield from comm.bcast("solo", root=0)
+        g = yield from comm.gather(5, root=0)
+        r = yield from comm.allreduce(3, SUM)
+        return (b, g, r)
+
+    results, _rt, _cl = run_ranks(1, body)
+    assert results[0] == ("solo", [5], 3)
+
+
+def test_slots_are_freed_after_use():
+    def body(comm, rank):
+        for _ in range(10):
+            yield from comm.barrier()
+        return None
+
+    _res, rt, _cl = run_ranks(4, body)
+    assert rt.comm(0)._state.slots == {}

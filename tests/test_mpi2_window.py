@@ -1,0 +1,202 @@
+"""Tests for one-sided windows: put/get/accumulate, fence, locks."""
+
+import numpy as np
+import pytest
+
+from repro.mpi2 import Mpi2Runtime, MpiError, SUM
+from repro.mpi2.window import Win
+from repro.vbus import build_cluster
+
+
+def run_with_windows(nprocs, win_size, fn):
+    """Run ``fn(comm, win, rank)`` on every rank with a shared window."""
+    cluster = build_cluster(nprocs)
+    runtime = Mpi2Runtime(cluster)
+    buffers = [np.zeros(win_size) for _ in range(nprocs)]
+    comms = [runtime.comm(r) for r in range(nprocs)]
+    wins = Win.create(comms, buffers)
+    results = {}
+
+    def make_body(r):
+        def body():
+            out = yield from fn(comms[r], wins[r], r)
+            results[r] = out
+
+        return body
+
+    for r in range(nprocs):
+        cluster.sim.process(make_body(r)(), name=f"rank{r}")
+    cluster.sim.run()
+    assert len(results) == nprocs
+    return results, wins, cluster
+
+
+def test_put_contiguous_visible_after_fence():
+    def body(comm, win, rank):
+        yield from win.fence()
+        if rank == 0:
+            yield from win.put(np.arange(10.0), target=1, offset=5)
+        yield from win.fence()
+        return win.local.copy()
+
+    results, wins, _cl = run_with_windows(4, 32, body)
+    assert np.array_equal(results[1][5:15], np.arange(10.0))
+    assert results[1][:5].sum() == 0
+    assert wins[0].puts_contig == 1
+
+
+def test_put_strided_writes_every_kth_element():
+    def body(comm, win, rank):
+        yield from win.fence()
+        if rank == 0:
+            yield from win.put(np.array([1.0, 2.0, 3.0]), target=1, offset=2, stride=4)
+        yield from win.fence()
+        return win.local.copy()
+
+    results, wins, _cl = run_with_windows(2, 16, body)
+    expected = np.zeros(16)
+    expected[[2, 6, 10]] = [1.0, 2.0, 3.0]
+    assert np.array_equal(results[1], expected)
+    assert wins[0].puts_strided == 1
+    assert wins[0].puts_contig == 0
+
+
+def test_get_contiguous_and_strided():
+    # Every rank does two fences; rank 1 issues its gets in between.
+    def body2(comm, win, rank):
+        win.local[:] = rank * 100 + np.arange(win.local.size)
+        yield from win.fence()
+        out = None
+        if rank == 1:
+            contig = yield from win.get(target=0, offset=3, count=4)
+            strided = yield from win.get(target=0, offset=0, count=3, stride=5)
+            out = (contig, strided)
+        yield from win.fence()
+        return out
+
+    results, wins, _cl = run_with_windows(2, 16, body2)
+    contig, strided = results[1]
+    assert np.array_equal(contig, [3.0, 4.0, 5.0, 6.0])
+    assert np.array_equal(strided, [0.0, 5.0, 10.0])
+    assert wins[1].gets_contig == 1
+    assert wins[1].gets_strided == 1
+
+
+def test_accumulate_sums_into_target():
+    def body(comm, win, rank):
+        yield from win.fence()
+        # All ranks accumulate 1s into rank 0's window, under lock.
+        yield from win.lock(0)
+        yield from win.accumulate(np.ones(4), target=0, op=SUM, offset=0)
+        win.unlock(0)
+        yield from win.fence()
+        return win.local[:4].copy()
+
+    results, _wins, _cl = run_with_windows(4, 8, body)
+    assert np.array_equal(results[0], np.full(4, 4.0))
+
+
+def test_put_to_self_is_free_and_correct():
+    def body(comm, win, rank):
+        t0 = comm.sim.now
+        yield from win.put(np.array([7.0]), target=rank, offset=0)
+        assert comm.sim.now == t0
+        yield from win.fence()
+        return win.local[0]
+
+    results, _wins, _cl = run_with_windows(2, 4, body)
+    assert results == {0: 7.0, 1: 7.0}
+
+
+def test_bounds_checking():
+    def body(comm, win, rank):
+        if rank == 0:
+            with pytest.raises(MpiError):
+                yield from win.put(np.ones(10), target=1, offset=60)
+            with pytest.raises(MpiError):
+                yield from win.put(np.ones(4), target=1, offset=0, stride=30)
+            with pytest.raises(MpiError):
+                yield from win.get(target=9, offset=0, count=1)
+            with pytest.raises(MpiError):
+                yield from win.put(np.ones(1), target=1, offset=0, stride=0)
+        yield from win.fence()
+        return None
+
+    run_with_windows(2, 64, body)
+
+
+def test_strided_put_costs_more_cpu_than_contiguous():
+    """The §2.2 claim: strided PUT uses PIO and occupies the processor."""
+
+    def body2(comm, win, rank):
+        out = None
+        if rank == 0:
+            t0 = comm.sim.now
+            yield from win.put(np.ones(500), target=1, offset=0, stride=1)
+            contig_cpu = comm.sim.now - t0
+            t0 = comm.sim.now
+            yield from win.put(np.ones(500), target=1, offset=0, stride=2)
+            strided_cpu = comm.sim.now - t0
+            out = (contig_cpu, strided_cpu)
+        yield from win.fence()
+        return out
+
+    results, _wins, _cl = run_with_windows(2, 1024, body2)
+    contig_cpu, strided_cpu = results[0]
+    assert strided_cpu > 5 * contig_cpu
+
+
+def test_fence_waits_for_outstanding_dma():
+    """A fence immediately after a big put must drain the wire leg."""
+
+    def body(comm, win, rank):
+        out = None
+        if rank == 0:
+            yield from win.put(np.zeros(500_000), target=1)  # 4 MB
+            initiate_t = comm.sim.now
+            assert win.outstanding == 1
+            yield from win.fence()
+            out = (initiate_t, comm.sim.now, win.fence_wait_s)
+        else:
+            yield from win.fence()
+        return out
+
+    results, _wins, cl = run_with_windows(2, 500_000, body)
+    initiate_t, fence_done, fence_wait = results[0]
+    # Initiation returns long before the 4 MB have streamed at ~50 MB/s.
+    stream_time = 4e6 / cl.params.nic.dma_rate_Bps
+    assert initiate_t < 0.2 * stream_time
+    assert fence_done >= stream_time
+    assert fence_wait > 0.8 * stream_time
+
+
+def test_compute_overlaps_dma_before_fence():
+    """Computation between put and fence hides the streaming time."""
+
+    def body(comm, win, rank):
+        out = None
+        if rank == 0:
+            yield from win.put(np.zeros(500_000), target=1)  # 4 MB
+            yield comm.sim.timeout(1.0)  # "compute" for a full second
+            t0 = comm.sim.now
+            yield from win.fence()
+            out = comm.sim.now - t0
+        else:
+            yield from win.fence()
+        return out
+
+    results, _wins, _cl = run_with_windows(2, 500_000, body)
+    # The wire drained during the compute second; fence is just a barrier.
+    assert results[0] < 1e-3
+
+
+def test_window_creation_validation():
+    cluster = build_cluster(2)
+    runtime = Mpi2Runtime(cluster)
+    comms = [runtime.comm(0), runtime.comm(1)]
+    with pytest.raises(MpiError):
+        Win.create(comms, [np.zeros(4)])  # wrong buffer count
+    with pytest.raises(MpiError):
+        Win.create(comms, [np.zeros((2, 2)), np.zeros(4)])  # not 1-D
+    with pytest.raises(MpiError):
+        Win.create([], [])

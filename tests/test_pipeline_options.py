@@ -1,0 +1,105 @@
+"""Tests for CompileOptions, compile_file, and pipeline-level behavior."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import CompileOptions, compile_file, compile_source
+from repro.runtime.executor import run_program
+from repro.workloads import mm, synthetic
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        CompileOptions(nprocs=0)
+    with pytest.raises(ValueError):
+        CompileOptions(granularity="chunky")
+    with pytest.raises(ValueError):
+        CompileOptions(partition="diagonal")
+
+
+def test_options_live_out_frozen():
+    opts = CompileOptions(live_out={"A", "B"})
+    assert isinstance(opts.live_out, frozenset)
+
+
+def test_compile_source_kwargs_shortcut():
+    prog = compile_source(
+        mm.source(8), nprocs=2, granularity="middle", partition="block"
+    )
+    assert prog.options.nprocs == 2
+    assert prog.options.granularity == "middle"
+    assert prog.options.partition == "block"
+
+
+def test_compile_source_with_options_object():
+    opts = CompileOptions(nprocs=3, granularity="coarse")
+    prog = compile_source(mm.source(8), options=opts)
+    assert prog.nprocs == 3
+
+
+def test_compile_file(tmp_path):
+    path = tmp_path / "mm.f"
+    path.write_text(mm.source(8))
+    prog = compile_file(str(path), nprocs=2)
+    assert prog.unit.name == "MM"
+
+
+def test_parallelize_false_trusts_only_directives():
+    src = """
+      PROGRAM P
+      PARAMETER (N = 16)
+      REAL*8 A(N), B(N)
+      INTEGER I
+CSRD$ PARALLEL
+      DO I = 1, N
+        A(I) = DBLE(I)
+      ENDDO
+      DO I = 1, N
+        B(I) = A(I)
+      ENDDO
+      END
+"""
+    prog = compile_source(src, nprocs=4, parallelize=False)
+    regions = prog.parallel_regions()
+    assert len(regions) == 1  # only the annotated loop
+    assert regions[0].loop.var == "I"
+
+
+def test_forced_block_partition_on_triangular():
+    """The user may override the auto policy; results stay correct."""
+    src = synthetic.triangular_kernel(10)
+    prog = compile_source(src, nprocs=2, granularity="fine", partition="block")
+    region = prog.parallel_regions()[0]
+    assert region.partition.strategy == "block"
+    from repro.runtime.executor import run_sequential
+
+    seq = run_sequential(prog)
+    par = run_program(prog)
+    assert np.array_equal(par.memory.array("L"), seq.memory.array("L"))
+
+
+def test_forced_cyclic_partition_on_square():
+    init = mm.init_arrays(12)
+    prog = compile_source(mm.source(12), nprocs=3, partition="cyclic")
+    region = prog.parallel_regions()[0]
+    assert region.partition.strategy == "cyclic"
+    par = run_program(prog, init=init)
+    assert np.allclose(par.memory.shaped("C"), mm.reference(init))
+
+
+def test_figure9_kernel_compiles_with_strided_plans():
+    prog = compile_source(
+        synthetic.figure9_kernel(4), nprocs=2, granularity="fine"
+    )
+    region = prog.parallel_regions()[0]
+    aplan = prog.plans[region.region_id].arrays["A"]
+    strided = [
+        t for ts in aplan.collect.values() for t in ts if not t.contiguous
+    ]
+    assert strided and all(t.stride == 3 for t in strided)
+
+
+def test_fortran_emission_stable_across_compiles():
+    a = compile_source(mm.source(8), nprocs=2).fortran
+    b = compile_source(mm.source(8), nprocs=2).fortran
+    assert a == b

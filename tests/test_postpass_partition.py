@@ -1,0 +1,133 @@
+"""Tests for work partitioning (paper §5.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.analysis.access import LoopCtx
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.compiler.postpass.partition import (
+    Partition,
+    choose_strategy,
+    is_triangular,
+)
+
+
+def ctx(lo, hi, step=1):
+    return LoopCtx("I", lo, hi, step)
+
+
+def test_block_partition_splits_contiguously():
+    p = Partition(pctx=ctx(1, 16), nprocs=4, strategy="block")
+    chunks = [p.rank_ctx(r) for r in range(4)]
+    assert [(c.lo, c.hi) for c in chunks] == [(1, 4), (5, 8), (9, 12), (13, 16)]
+    assert all(c.step == 1 for c in chunks)
+
+
+def test_block_partition_uneven():
+    p = Partition(pctx=ctx(1, 10), nprocs=4, strategy="block")
+    chunks = [p.rank_ctx(r) for r in range(4)]
+    # ceil(10/4)=3: 3+3+3+1
+    assert [(c.lo, c.hi) for c in chunks if c] == [(1, 3), (4, 6), (7, 9), (10, 10)]
+
+
+def test_block_partition_more_ranks_than_iters():
+    p = Partition(pctx=ctx(1, 2), nprocs=4, strategy="block")
+    chunks = [p.rank_ctx(r) for r in range(4)]
+    assert chunks[0] is not None and chunks[1] is not None
+    assert chunks[2] is None and chunks[3] is None
+
+
+def test_cyclic_partition_interleaves():
+    p = Partition(pctx=ctx(1, 8), nprocs=3, strategy="cyclic")
+    c0 = p.rank_ctx(0)
+    assert (c0.lo, c0.hi, c0.step) == (1, 7, 3)
+    c2 = p.rank_ctx(2)
+    assert (c2.lo, c2.hi, c2.step) == (3, 6, 3)
+    assert list(c2.values()) == [3, 6]
+
+
+def test_cyclic_with_stepped_loop():
+    p = Partition(pctx=ctx(1, 19, 2), nprocs=2, strategy="cyclic")
+    v0 = list(p.rank_ctx(0).values())
+    v1 = list(p.rank_ctx(1).values())
+    assert v0 == [1, 5, 9, 13, 17]
+    assert v1 == [3, 7, 11, 15, 19]
+
+
+def test_owner_of():
+    p = Partition(pctx=ctx(1, 16), nprocs=4, strategy="block")
+    assert p.owner_of(1) == 0
+    assert p.owner_of(4) == 0
+    assert p.owner_of(5) == 1
+    assert p.owner_of(16) == 3
+    pc = Partition(pctx=ctx(1, 16), nprocs=4, strategy="cyclic")
+    assert pc.owner_of(1) == 0
+    assert pc.owner_of(2) == 1
+    assert pc.owner_of(5) == 0
+    with pytest.raises(ValueError):
+        p.owner_of(17)
+
+
+@settings(max_examples=80)
+@given(
+    lo=st.integers(-20, 20),
+    n=st.integers(1, 60),
+    step=st.integers(1, 4),
+    nprocs=st.integers(1, 8),
+    strategy=st.sampled_from(["block", "cyclic"]),
+)
+def test_property_partition_covers_exactly_once(lo, n, step, nprocs, strategy):
+    """Every iteration lands on exactly one rank, and owner_of agrees."""
+    hi = lo + (n - 1) * step
+    p = Partition(pctx=ctx(lo, hi, step), nprocs=nprocs, strategy=strategy)
+    expected = list(range(lo, hi + 1, step))
+    assert p.coverage() == sorted(expected)
+    for v in expected:
+        owner = p.owner_of(v)
+        rctx = p.rank_ctx(owner)
+        assert v in list(rctx.values())
+
+
+def test_strategy_validation():
+    with pytest.raises(ValueError):
+        Partition(pctx=ctx(1, 4), nprocs=2, strategy="diagonal")
+    with pytest.raises(ValueError):
+        Partition(pctx=ctx(1, 4), nprocs=0, strategy="block")
+    with pytest.raises(ValueError):
+        Partition(pctx=ctx(1, 4), nprocs=2, strategy="block").rank_ctx(5)
+
+
+def loop_of(src):
+    return lower_program(parse(src)).main.body[0]
+
+
+def test_triangular_detection_and_policy():
+    tri = loop_of("""
+      PROGRAM P
+      REAL*8 L(10,10)
+      DO I = 1, 10
+        DO J = 1, I
+          L(J,I) = 1.0
+        ENDDO
+      ENDDO
+      END
+""")
+    assert is_triangular(tri)
+    assert choose_strategy(tri, "auto") == "cyclic"
+    assert choose_strategy(tri, "block") == "block"  # explicit override
+
+    square = loop_of("""
+      PROGRAM P
+      REAL*8 A(10,10)
+      DO I = 1, 10
+        DO J = 1, 10
+          A(J,I) = 1.0
+        ENDDO
+      ENDDO
+      END
+""")
+    assert not is_triangular(square)
+    assert choose_strategy(square, "auto") == "block"
+    with pytest.raises(ValueError):
+        choose_strategy(square, "zigzag")

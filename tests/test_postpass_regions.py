@@ -1,0 +1,175 @@
+"""Tests for region-tree construction (SPMDization), environment
+generation, and the emitted Fortran+MPI-2 text."""
+
+from repro.compiler.frontend import fast as F
+from repro.compiler.pipeline import compile_source
+from repro.compiler.postpass.env import generate_environment
+from repro.compiler.postpass.spmd import (
+    IfRegion,
+    ParRegion,
+    SeqBlock,
+    SeqLoop,
+    build_regions,
+    iter_regions,
+)
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.compiler.analysis.parallel import detect_parallelism
+
+
+def prepared(src):
+    unit = lower_program(parse(src)).main
+    detect_parallelism(unit)
+    return unit
+
+
+SRC_MIXED = """
+      PROGRAM P
+      PARAMETER (N = 16, STEPS = 3)
+      REAL*8 A(N), B(N), LOCALX(N)
+      REAL*8 ALPHA
+      INTEGER I, T
+      ALPHA = 1.5
+      DO I = 1, N
+        A(I) = DBLE(I)
+      ENDDO
+      DO T = 1, STEPS
+        DO I = 1, N
+          B(I) = A(I) * ALPHA
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        LOCALX(I) = 0.0
+        LOCALX(I) = LOCALX(I) + 1.0
+      ENDDO
+      PRINT *, B(1)
+      END
+"""
+
+
+def test_build_regions_structure():
+    unit = prepared(SRC_MIXED)
+    regions = build_regions(unit.body)
+    kinds = [type(r).__name__ for r in regions]
+    # ALPHA=... block, parallel init, seq time loop, parallel LOCALX, print.
+    assert kinds == ["SeqBlock", "ParRegion", "SeqLoop", "ParRegion", "SeqBlock"]
+    seqloop = regions[2]
+    assert isinstance(seqloop.body[0], ParRegion)
+    assert seqloop.loop.var == "T"
+
+
+def test_region_ids_unique():
+    unit = prepared(SRC_MIXED)
+    regions = build_regions(unit.body)
+    ids = [r.region_id for r in iter_regions(regions)]
+    assert len(ids) == len(set(ids))
+
+
+def test_serial_loop_without_parallel_stays_in_seqblock():
+    unit = prepared("""
+      PROGRAM P
+      REAL*8 A(8)
+      INTEGER I
+      A(1) = 0.0
+      DO I = 2, 8
+        A(I) = A(I-1) + 1.0
+      ENDDO
+      END
+""")
+    regions = build_regions(unit.body)
+    assert len(regions) == 1
+    assert isinstance(regions[0], SeqBlock)
+    assert any(isinstance(s, F.Do) for s in regions[0].stmts)
+
+
+def test_if_region_with_parallel_branch():
+    unit = prepared("""
+      PROGRAM P
+      PARAMETER (N = 8)
+      REAL*8 A(N)
+      INTEGER FLAG, I
+      FLAG = 1
+      IF (FLAG .GT. 0) THEN
+        DO I = 1, N
+          A(I) = 1.0
+        ENDDO
+      ELSE
+        A(1) = -1.0
+      ENDIF
+      END
+""")
+    regions = build_regions(unit.body)
+    node = [r for r in regions if isinstance(r, IfRegion)][0]
+    assert any(isinstance(r, ParRegion) for r in node.then)
+    assert all(isinstance(r, SeqBlock) for r in node.orelse)
+
+
+def test_environment_windows_and_scalars():
+    unit = prepared(SRC_MIXED)
+    regions = build_regions(unit.body)
+    env = generate_environment(regions, unit.symtab)
+    assert "A" in env.window_arrays
+    assert "B" in env.window_arrays
+    assert "LOCALX" in env.window_arrays  # written in a parallel region
+    assert "ALPHA" in env.replicated_scalars
+    assert env.sizes["A"] == 16
+    assert env.itemsize["A"] == 8
+
+
+def test_environment_master_private_array():
+    unit = prepared("""
+      PROGRAM P
+      PARAMETER (N = 8)
+      REAL*8 A(N), PRIV(N)
+      INTEGER I
+      PRIV(1) = 5.0
+      DO I = 1, N
+        A(I) = 1.0
+      ENDDO
+      END
+""")
+    regions = build_regions(unit.body)
+    env = generate_environment(regions, unit.symtab)
+    assert "PRIV" in env.local_arrays
+    assert "PRIV" not in env.window_arrays
+
+
+def test_emitted_fortran_contains_mpi_calls():
+    prog = compile_source(SRC_MIXED, nprocs=4, granularity="coarse")
+    text = prog.fortran
+    assert "MPI_INIT" in text
+    assert "MPI_WIN_CREATE" in text
+    assert "MPI_WIN_FENCE" in text
+    assert "MPI_BARRIER" in text
+    assert "MPI_PUT" in text
+    assert "MYRANK" in text
+    assert "replicated control" in text  # the T loop
+    assert text.count("PROGRAM P_SPMD") == 1
+
+
+def test_emitted_fortran_shows_reductions():
+    prog = compile_source("""
+      PROGRAM R
+      PARAMETER (N = 32)
+      REAL*8 A(N)
+      REAL*8 S
+      INTEGER I
+      DO I = 1, N
+        A(I) = DBLE(I)
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + A(I)
+      ENDDO
+      PRINT *, S
+      END
+""", nprocs=4)
+    assert "MPI_WIN_LOCK" in prog.fortran
+    assert "MPI_ACCUMULATE" in prog.fortran
+
+
+def test_program_summary_mentions_regions():
+    prog = compile_source(SRC_MIXED, nprocs=4)
+    s = prog.summary()
+    assert "parallel regions: 3" in s
+    assert "windows" in s

@@ -1,0 +1,186 @@
+"""Integration tests: compiled programs run on the simulated cluster and
+produce bit-identical results to sequential execution."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.executor import run_program, run_sequential
+from repro.workloads import cffzinit, mm, swim, synthetic
+
+GRAINS = ("fine", "middle", "coarse")
+
+
+def check_parallel_matches_sequential(src, arrays, nprocs=4, init=None, **kw):
+    results = {}
+    for grain in GRAINS:
+        prog = compile_source(src, nprocs=nprocs, granularity=grain, **kw)
+        seq = run_sequential(prog, init=init)
+        par = run_program(prog, init=init)
+        for name in arrays:
+            assert np.array_equal(
+                par.memory.array(name), seq.memory.array(name)
+            ), f"{name} differs at {grain}"
+        results[grain] = (seq, par)
+    return results
+
+
+def test_mm_all_granularities_and_sizes():
+    for n in (8, 16):
+        init = mm.init_arrays(n)
+        res = check_parallel_matches_sequential(
+            mm.source(n), ["C"], nprocs=4, init=init
+        )
+        seq, par = res["fine"]
+        assert np.allclose(par.memory.shaped("C"), mm.reference(init))
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 6])
+def test_mm_various_rank_counts(nprocs):
+    n = 12
+    init = mm.init_arrays(n)
+    prog = compile_source(mm.source(n), nprocs=nprocs, granularity="coarse")
+    par = run_program(prog, init=init)
+    assert np.allclose(par.memory.shaped("C"), mm.reference(init))
+
+
+def test_swim_matches_numpy_reference():
+    n, itmax = 16, 2
+    prog = compile_source(swim.source(n, itmax), nprocs=4, granularity="fine")
+    par = run_program(prog)
+    ref = swim.reference_step(n, itmax)
+    for name in ("U", "V", "P", "CU", "CV", "Z", "H"):
+        assert np.allclose(par.memory.shaped(name), ref[name]), name
+
+
+def test_swim_all_granularities():
+    check_parallel_matches_sequential(
+        swim.source(12, 1), ["U", "V", "P", "CU", "CV", "Z", "H"], nprocs=4
+    )
+
+
+def test_cffzinit_all_granularities():
+    for grain in GRAINS:
+        prog = compile_source(cffzinit.source(6), nprocs=4, granularity=grain)
+        par = run_program(prog)
+        assert np.allclose(par.memory.array("TRIG"), cffzinit.reference(6))
+
+
+def test_reduction_program():
+    prog = compile_source(synthetic.reduction_kernel(64), nprocs=4)
+    seq = run_sequential(prog)
+    par = run_program(prog)
+    expected = 64 * 65 / 2
+    assert par.stdout == [f"SUM {expected:.6g}"]
+    assert par.stdout == seq.stdout
+    # Master's scalar also holds the combined value.
+    assert par.memory.scalars["S"] == expected
+
+
+def test_triangular_program():
+    check_parallel_matches_sequential(
+        synthetic.triangular_kernel(10), ["L"], nprocs=3
+    )
+
+
+def test_avpg_chain_with_dead_arrays():
+    src = synthetic.avpg_chain(24)
+    prog = compile_source(
+        src, nprocs=4, granularity="fine", live_out=frozenset({"D"})
+    )
+    seq = run_sequential(prog)
+    par = run_program(prog)
+    # D (the live-out array) must match; B may legitimately be stale on
+    # the master because its collect was eliminated.
+    assert np.array_equal(par.memory.array("D"), seq.memory.array("D"))
+
+
+def test_time_stepping_loop_replicated_control():
+    src = swim.source(12, 3)
+    prog = compile_source(src, nprocs=2, granularity="fine")
+    par = run_program(prog)
+    ref = swim.reference_step(12, 3)
+    assert np.allclose(par.memory.shaped("P"), ref["P"])
+
+
+def test_if_region_parallel_branch():
+    src = """
+      PROGRAM P
+      PARAMETER (N = 16)
+      REAL*8 A(N)
+      INTEGER FLAG, I
+      FLAG = 1
+      IF (FLAG .GT. 0) THEN
+        DO I = 1, N
+          A(I) = DBLE(I)
+        ENDDO
+      ELSE
+        DO I = 1, N
+          A(I) = -DBLE(I)
+        ENDDO
+      ENDIF
+      END
+"""
+    check_parallel_matches_sequential(src, ["A"], nprocs=4)
+
+
+def test_timing_mode_same_schedule_as_value_mode():
+    n = 16
+    init = mm.init_arrays(n)
+    prog = compile_source(mm.source(n), nprocs=4, granularity="fine")
+    rv = run_program(prog, init=init, execute=True)
+    rt = run_program(prog, execute=False)
+    assert rt.total_s == pytest.approx(rv.total_s, rel=1e-9)
+    assert rt.hw["messages"] == rv.hw["messages"]
+    assert rt.scatter_bytes == rv.scatter_bytes
+    assert rt.collect_bytes == rv.collect_bytes
+
+
+def test_report_contents():
+    prog = compile_source(mm.source(8), nprocs=4, granularity="fine")
+    r = run_program(prog, init=mm.init_arrays(8))
+    assert r.nprocs == 4
+    assert r.total_s > 0
+    assert set(r.compute_s) == {0, 1, 2, 3}
+    assert r.comm_max_s > 0
+    assert r.hw["messages"] > 0
+    assert r.contiguous_transfers > 0
+    assert "total time" in r.summary()
+
+
+def test_speedup_increases_with_ranks():
+    n = 48
+    seq = run_sequential(
+        compile_source(mm.source(n), nprocs=1), execute=False
+    )
+    speedups = []
+    for nodes in (1, 2, 4):
+        prog = compile_source(mm.source(n), nprocs=nodes, granularity="coarse")
+        par = run_program(prog, execute=False)
+        speedups.append(par.speedup_vs(seq.total_s))
+    assert speedups[0] == pytest.approx(1 / 1.04, rel=1e-3)  # Table 1's 0.96
+    assert speedups[0] < speedups[1] < speedups[2]
+
+
+def test_hw_broadcast_used_for_mm_b():
+    prog = compile_source(mm.source(16), nprocs=4, granularity="coarse")
+    r = run_program(prog, init=mm.init_arrays(16))
+    assert r.hw["hw_broadcasts"] >= 1
+    assert r.hw["freezes"] >= 1
+
+
+def test_print_happens_once_on_master():
+    src = """
+      PROGRAM P
+      PARAMETER (N = 8)
+      REAL*8 A(N)
+      INTEGER I
+      DO I = 1, N
+        A(I) = 2.0
+      ENDDO
+      PRINT *, 'done', A(3)
+      END
+"""
+    prog = compile_source(src, nprocs=4)
+    r = run_program(prog)
+    assert r.stdout == ["done 2"]

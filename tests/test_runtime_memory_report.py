@@ -1,0 +1,95 @@
+"""Tests for RankMemory and RunReport."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.runtime.memory import RankMemory
+from repro.runtime.report import RunReport
+
+
+def symtab_of(src):
+    return lower_program(parse(src)).main.symtab
+
+
+SRC = """
+      PROGRAM P
+      PARAMETER (N = 4)
+      REAL*8 A(N,N), V(8)
+      INTEGER COUNT
+      REAL*8 X
+      END
+"""
+
+
+def test_memory_allocates_arrays_and_scalars():
+    mem = RankMemory(symtab_of(SRC), rank=2)
+    assert mem.array("A").shape == (16,)
+    assert mem.array("A").dtype == np.float64
+    assert mem.scalars["COUNT"] == 0
+    assert isinstance(mem.scalars["COUNT"], int)
+    assert mem.scalars["X"] == 0.0
+    assert "N" not in mem.scalars  # parameters are folded, not stored
+
+
+def test_memory_integer_array_dtype():
+    mem = RankMemory(symtab_of("""
+      PROGRAM P
+      INTEGER IDX(6)
+      END
+"""))
+    assert mem.array("IDX").dtype == np.int64
+
+
+def test_load_shaped_and_flat():
+    mem = RankMemory(symtab_of(SRC))
+    shaped = np.arange(16.0).reshape(4, 4)
+    mem.load("A", shaped)
+    # Column-major flattening: A(2,1) is element (1,0).
+    assert mem.array("A")[1] == shaped[1, 0]
+    assert np.array_equal(mem.shaped("A"), shaped)
+    mem.load("V", np.ones(8))
+    assert mem.array("V").sum() == 8
+
+
+def test_load_size_mismatch():
+    mem = RankMemory(symtab_of(SRC))
+    with pytest.raises(ValueError):
+        mem.load("V", np.ones(9))
+
+
+def test_scalar_env_roundtrip():
+    mem = RankMemory(symtab_of(SRC))
+    mem.update_scalars({"X": 2.5, "COUNT": 7})
+    env = mem.scalar_env()
+    assert env["X"] == 2.5 and env["COUNT"] == 7
+    env["X"] = -1  # copies, not views
+    assert mem.scalars["X"] == 2.5
+
+
+def test_report_aggregates():
+    rep = RunReport(nprocs=2, granularity="fine")
+    rep.comm_s = {0: 0.5, 1: 0.2}
+    rep.comm_cpu_s = {0: 0.1, 1: 0.05}
+    rep.compute_s = {0: 1.0, 1: 1.5}
+    assert rep.comm_max_s == 0.5
+    assert rep.comm_master_s == 0.5
+    assert rep.comm_cpu_max_s == 0.1
+    assert rep.comm_cpu_total_s == pytest.approx(0.15)
+    assert rep.compute_max_s == 1.5
+
+
+def test_report_speedup_and_summary():
+    rep = RunReport(nprocs=4, granularity="coarse", total_s=0.5)
+    assert rep.speedup_vs(2.0) == 4.0
+    rep.hw = {"messages": 10, "bytes": 1000, "hw_broadcasts": 2}
+    text = rep.summary()
+    assert "V-Bus broadcasts" in text
+    assert "4 rank(s)" in text
+
+
+def test_report_empty_defaults():
+    rep = RunReport(nprocs=1, granularity="n/a")
+    assert rep.comm_max_s == 0.0
+    assert rep.compute_max_s == 0.0

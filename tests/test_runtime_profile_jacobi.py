@@ -1,0 +1,57 @@
+"""Tests for the per-region profile and the Jacobi workload."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.executor import run_program, run_sequential
+from repro.workloads import jacobi, mm
+
+
+def test_jacobi_matches_reference():
+    n, steps = 64, 10
+    prog = compile_source(jacobi.source(n, steps), nprocs=4, granularity="fine")
+    par = run_program(prog)
+    x_ref, res_ref = jacobi.reference(n, steps)
+    assert np.allclose(par.memory.array("X"), x_ref)
+    assert par.stdout == [f"residual {res_ref:.6g}"]
+
+
+def test_jacobi_sequential_matches_parallel():
+    n, steps = 48, 7
+    prog = compile_source(jacobi.source(n, steps), nprocs=3, granularity="coarse")
+    seq = run_sequential(prog)
+    par = run_program(prog)
+    assert np.array_equal(par.memory.array("X"), seq.memory.array("X"))
+    assert par.stdout == seq.stdout
+
+
+def test_jacobi_source_validation():
+    with pytest.raises(ValueError):
+        jacobi.source(4)
+
+
+def test_region_profile_visits_and_times():
+    n, steps = 32, 5
+    prog = compile_source(jacobi.source(n, steps), nprocs=2)
+    par = run_program(prog)
+    profile = par.region_profile
+    assert profile, "profile must not be empty"
+    visits = sorted({v for v, _t in profile.values()})
+    # The init block/loop runs once; the three in-step regions run 5x.
+    assert 1 in visits and steps in visits
+    assert sum(v == steps for v, _t in profile.values()) >= 3
+    for _v, t in profile.values():
+        assert t >= 0.0
+    # The profile accounts for (almost) the entire run.
+    total = sum(t for _v, t in profile.values())
+    assert total == pytest.approx(par.total_s, rel=0.05)
+
+
+def test_region_profile_single_region():
+    prog = compile_source(mm.source(8), nprocs=2)
+    par = run_program(prog, init=mm.init_arrays(8))
+    assert len(par.region_profile) == 1
+    (visits, elapsed), = par.region_profile.values()
+    assert visits == 1
+    assert elapsed == pytest.approx(par.total_s, rel=0.05)

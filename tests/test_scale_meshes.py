@@ -1,0 +1,130 @@
+"""Scale tests: larger meshes, concurrent broadcasts, window contention.
+
+The paper's testbed is 4 nodes; the simulator has no such limit — these
+tests check the machinery holds up on 3x3 and 4x4 meshes where routes
+are longer, freezes hit more in-flight messages, and the master's links
+become genuinely hot."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_source
+from repro.mpi2 import Mpi2Runtime, SUM
+from repro.runtime.executor import run_program, run_sequential
+from repro.vbus import build_cluster, network_usage
+from repro.workloads import mm, swim
+
+from tests.mpiutil import run_ranks
+
+
+@pytest.mark.parametrize("nprocs", [8, 9, 16])
+def test_mm_on_larger_meshes(nprocs):
+    n = 16
+    init = mm.init_arrays(n)
+    prog = compile_source(mm.source(n), nprocs=nprocs, granularity="coarse")
+    par = run_program(prog, init=init)
+    assert np.allclose(par.memory.shaped("C"), mm.reference(init))
+
+
+def test_swim_on_3x3():
+    prog = compile_source(swim.source(12, 1), nprocs=9, granularity="fine")
+    par = run_program(prog)
+    ref = swim.reference_step(12, 1)
+    assert np.allclose(par.memory.shaped("P"), ref["P"])
+
+
+def test_collectives_on_4x4():
+    def body(comm, rank):
+        data = yield from comm.bcast(rank if rank == 5 else None, root=5)
+        total = yield from comm.allreduce(1, SUM)
+        return data, total
+
+    results, _rt, cl = run_ranks(16, body)
+    assert all(v == (5, 16) for v in results.values())
+    assert cl.topology.diameter == 6
+
+
+def test_concurrent_broadcasts_serialize_on_the_bus():
+    cl = build_cluster(9)
+    ends = []
+
+    def b(src):
+        yield from cl.hw_broadcast(src, 50_000)
+        ends.append(cl.sim.now)
+
+    for src in (0, 4, 8):
+        cl.sim.process(b(src))
+    cl.sim.run()
+    assert len(ends) == 3
+    # One virtual bus: strictly increasing completion times.
+    assert ends == sorted(ends)
+    assert ends[0] < ends[1] < ends[2]
+    assert cl.domain.freeze_count == 3
+
+
+def test_freeze_hits_many_in_flight_messages():
+    cl = build_cluster(16)
+    done = {}
+
+    def p2p(tag, src, dst):
+        yield from cl.transfer(src, dst, 200_000)
+        done[tag] = cl.sim.now
+
+    # Several long transfers on disjoint-ish paths...
+    pairs = [(0, 15), (3, 12), (1, 14), (7, 8)]
+    for i, (s, d) in enumerate(pairs):
+        cl.sim.process(p2p(i, s, d))
+
+    def bcaster():
+        yield cl.sim.timeout(500e-6)
+        yield from cl.hw_broadcast(5, 10_000)
+
+    cl.sim.process(bcaster())
+    cl.sim.run()
+    assert len(done) == len(pairs)
+    # Every in-flight stream paused for the same broadcast window.
+    assert cl.domain.freeze_count == 1
+    assert cl.domain.total_frozen_s > 0
+
+
+def test_master_links_are_hottest_for_collects():
+    """Master-centric collect traffic concentrates on rank 0's links."""
+    prog = compile_source(mm.source(24), nprocs=9, granularity="fine")
+    ex_cluster = None
+
+    # Run and inspect the cluster the executor used.
+    from repro.runtime.executor import _Execution
+
+    ex = _Execution(prog, None, False, None)
+    for r in range(9):
+        ex.sim.process(ex.run_rank(r), name=f"rank{r}")
+    ex.sim.run()
+    rows = network_usage(ex.cluster)
+    # The hottest channel sits on the master's corner of the mesh: either
+    # touching rank 0 itself or its immediate relay neighbors (1, 3).
+    hot = rows[0]
+    near_master = {0, 1, 3}
+    assert {hot.src, hot.dst} & near_master
+    assert hot.busy_s > 0
+
+
+def test_window_lock_contention_many_ranks():
+    """16 ranks accumulate under one exclusive lock: serialized, correct."""
+    from repro.mpi2.window import Win
+
+    cl = build_cluster(16)
+    rt = Mpi2Runtime(cl)
+    comms = [rt.comm(r) for r in range(16)]
+    wins = Win.create(comms, [np.zeros(2) for _ in range(16)])
+
+    def body(rank):
+        win = wins[rank]
+        yield from win.lock(0)
+        yield from win.accumulate(np.array([1.0]), target=0, op=SUM, offset=0)
+        win.unlock(0)
+        yield from win.fence()
+
+    for r in range(16):
+        cl.sim.process(body(r), name=f"r{r}")
+    cl.sim.run()
+    assert wins[0].local[0] == 16.0

@@ -1,0 +1,317 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [1.5, 4.0]
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        v = yield sim.timeout(1.0, value="hello")
+        got.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter():
+        val = yield ev
+        seen.append((sim.now, val))
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed(42)
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert seen == [(3.0, 42)]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_propagates_from_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        sim.run()
+
+
+def test_process_return_value_via_run_until():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        return 99
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 99
+    assert sim.now == 2.0
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield sim.timeout(5.0)
+        order.append("child")
+        return "payload"
+
+    def parent():
+        val = yield sim.process(child())
+        order.append("parent")
+        assert val == "payload"
+
+    sim.process(parent())
+    sim.run()
+    assert order == ["child", "parent"]
+
+
+def test_waiting_on_already_processed_event():
+    sim = Simulator()
+    results = []
+
+    def early():
+        yield sim.timeout(1.0)
+        return "done-early"
+
+    p = sim.process(early())
+
+    def late():
+        yield sim.timeout(10.0)
+        v = yield p  # p completed long ago
+        results.append((sim.now, v))
+
+    sim.process(late())
+    sim.run()
+    assert results == [(10.0, "done-early")]
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_exception_in_process_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise KeyError("inner")
+
+    sim.process(bad())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_exception_in_child_caught_by_parent():
+    sim = Simulator()
+    seen = []
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            seen.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert seen == ["child died"]
+
+
+def test_run_until_time_stops_clock():
+    sim = Simulator()
+    ticks = []
+
+    def clock():
+        while True:
+            yield sim.timeout(1.0)
+            ticks.append(sim.now)
+
+    sim.process(clock())
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.process(iter_timeout(sim, 5.0))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def iter_timeout(sim, t):
+    yield sim.timeout(t)
+
+
+def test_deterministic_fifo_order_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        t1 = sim.timeout(1.0, value="x")
+        t2 = sim.timeout(3.0, value="y")
+        vals = yield AllOf(sim, [t1, t2])
+        done.append((sim.now, sorted(vals.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert done == [(3.0, ["x", "y"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(3.0, value="slow")
+        vals = yield AnyOf(sim, [t1, t2])
+        done.append((sim.now, list(vals.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert done == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+
+
+def test_interrupt_raises_in_target():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            log.append((sim.now, exc.cause))
+
+    def killer(proc):
+        yield sim.timeout(2.0)
+        proc.interrupt("wakeup")
+
+    p = sim.process(sleeper())
+    sim.process(killer(p))
+    sim.run()
+    assert log == [(2.0, "wakeup")]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok

@@ -1,0 +1,168 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def user(tag, hold):
+        yield res.request()
+        grants.append((tag, sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(user("a", 5.0))
+    sim.process(user("b", 5.0))
+    sim.process(user("c", 1.0))
+    sim.run()
+    # a and b acquire at t=0; c waits until one of them releases at t=5.
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+
+def test_resource_fifo_queue_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag):
+        yield res.request()
+        order.append(tag)
+        yield sim.timeout(1.0)
+        res.release()
+
+    for tag in "abcd":
+        sim.process(user(tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    assert res.available == 3
+
+    def holder():
+        yield res.request()
+
+    sim.process(holder())
+    sim.run()
+    assert res.in_use == 1
+    assert res.available == 2
+
+
+def test_resource_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        yield store.put("m1")
+        yield sim.timeout(1.0)
+        yield store.put("m2")
+
+    def consumer():
+        for _ in range(2):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [(0.0, "m1"), (1.0, "m2")]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(4.0)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(4.0, "late")]
+
+
+def test_store_bounded_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield store.put("a")
+        timeline.append(("put-a", sim.now))
+        yield store.put("b")  # blocks until the consumer drains "a"
+        timeline.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(2.0)
+        item = yield store.get()
+        timeline.append(("got-" + item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in timeline
+    assert ("put-b", 2.0) in timeline
+    assert ("got-a", 2.0) in timeline
+    assert list(store.items) == ["b"]
+
+
+def test_store_fifo_ordering_of_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(consumer("c1"))
+    sim.process(consumer("c2"))
+
+    def producer():
+        yield store.put("first")
+        yield store.put("second")
+
+    sim.process(producer())
+    sim.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    store.put("y")
+    assert len(store) == 2
+
+
+def test_store_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)

@@ -1,0 +1,50 @@
+"""Tests for the granularity auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import CompileOptions
+from repro.runtime.executor import run_program
+from repro.tools.autotune import choose_granularity
+from repro.workloads import cffzinit, mm
+
+
+def test_autotune_picks_a_grain_and_returns_program():
+    rep = choose_granularity(mm.source(16), nprocs=4, metric="comm")
+    assert rep.best in ("fine", "middle", "coarse")
+    assert set(rep.values) == {"fine", "middle", "coarse"}
+    assert rep.program is not None
+    assert rep.program.options.granularity == rep.best
+    assert "selected" in rep.summary()
+
+
+def test_autotune_cffzinit_prefers_approximate_grains():
+    """Stride-2 regions: fine (strided PIO) must never win."""
+    rep = choose_granularity(cffzinit.source(9), nprocs=4, metric="comm")
+    assert rep.best in ("middle", "coarse")
+    assert rep.values[rep.best] < rep.values["fine"]
+
+
+def test_autotune_comm_cpu_metric_mm():
+    """On the CPU metric, MM's coarse aggregation wins (Table 2 shape)."""
+    rep = choose_granularity(mm.source(48), nprocs=4, metric="comm_cpu")
+    assert rep.best == "coarse"
+
+
+def test_autotuned_program_is_runnable_and_correct():
+    rep = choose_granularity(mm.source(12), nprocs=4)
+    init = mm.init_arrays(12)
+    r = run_program(rep.program, init=init)
+    assert np.allclose(r.memory.shaped("C"), mm.reference(init))
+
+
+def test_autotune_respects_options():
+    opts = CompileOptions(nprocs=2, granularity="fine", partition="block")
+    rep = choose_granularity(mm.source(12), nprocs=2, options=opts)
+    assert rep.program.options.partition == "block"
+    assert rep.program.nprocs == 2
+
+
+def test_autotune_metric_validation():
+    with pytest.raises(ValueError):
+        choose_granularity(mm.source(8), metric="vibes")

@@ -1,0 +1,63 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.tools.cli import main
+from repro.workloads import mm, synthetic
+
+
+@pytest.fixture
+def mm_file(tmp_path):
+    path = tmp_path / "mm.f"
+    path.write_text(mm.source(12))
+    return str(path)
+
+
+def test_cli_compile_plan_and_log(mm_file, capsys):
+    assert main(["compile", mm_file, "--nprocs", "4", "--show", "plan", "log"]) == 0
+    out = capsys.readouterr().out
+    assert "parallelization log" in out
+    assert "communication plan" in out
+    assert "PARALLEL" in out
+
+
+def test_cli_compile_fortran_and_avpg(mm_file, capsys):
+    assert main(["compile", mm_file, "--show", "fortran", "avpg"]) == 0
+    out = capsys.readouterr().out
+    assert "MPI_WIN_CREATE" in out
+    assert "Valid" in out
+
+
+def test_cli_run_with_arrays(tmp_path, capsys):
+    path = tmp_path / "red.f"
+    path.write_text(synthetic.reduction_kernel(32))
+    assert main(["run", str(path), "--nprocs", "2", "--arrays", "A"]) == 0
+    out = capsys.readouterr().out
+    assert "SUM 528" in out
+    assert "total time" in out
+    assert "A = [" in out
+
+
+def test_cli_run_timing_and_compare(mm_file, capsys):
+    assert main([
+        "run", mm_file, "--timing", "--compare-sequential",
+        "--granularity", "coarse",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_cli_run_unknown_array(mm_file, capsys):
+    assert main(["run", mm_file, "--arrays", "NOPE"]) == 0
+    assert "no array named NOPE" in capsys.readouterr().out
+
+
+def test_cli_autotune(mm_file, capsys):
+    assert main(["autotune", mm_file, "--metric", "comm_cpu"]) == 0
+    out = capsys.readouterr().out
+    assert "selected" in out
+
+
+def test_cli_rejects_bad_granularity(mm_file):
+    with pytest.raises(SystemExit):
+        main(["compile", mm_file, "--granularity", "chunky"])

@@ -1,0 +1,42 @@
+"""Tests for message/flit framing."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.vbus.flit import CONTROL_FLITS, Message, flit_count
+from repro.vbus.mesh import MeshTopology
+from repro.vbus.params import LinkParams
+from repro.vbus.router import WormholeMesh
+from repro.vbus.vbusctl import FreezeDomain
+
+
+def test_flit_count_includes_header_and_tail():
+    # 8-bit links carry one byte per flit.
+    assert flit_count(10, 8) == 10 + CONTROL_FLITS
+    assert flit_count(0, 8) == CONTROL_FLITS
+    # 32-bit links carry four bytes per flit (ceil).
+    assert flit_count(10, 32) == 3 + CONTROL_FLITS
+
+
+def test_message_validation():
+    m = Message(src=0, dst=1, nbytes=100)
+    assert not m.is_broadcast
+    b = Message(src=0, dst=None, nbytes=100, kind="bcast")
+    assert b.is_broadcast
+    assert b.msg_id != m.msg_id
+    with pytest.raises(ValueError):
+        Message(src=0, dst=None, nbytes=10)  # p2p needs a destination
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, nbytes=-1)
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, nbytes=1, kind="carrier-pigeon")
+
+
+def test_mesh_counts_flits():
+    sim = Simulator()
+    mesh = WormholeMesh(
+        sim, MeshTopology(2, 2), LinkParams(), FreezeDomain(sim)
+    )
+    proc = sim.process(mesh.unicast(0, 1, 100))
+    sim.run(until=proc)
+    assert mesh.flits == flit_count(100, mesh.link.width_bits)

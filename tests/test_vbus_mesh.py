@@ -1,0 +1,87 @@
+"""Tests for mesh topology and XY routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vbus.mesh import MeshTopology
+
+
+def test_rank_coord_roundtrip():
+    topo = MeshTopology(3, 4)
+    for rank in range(12):
+        assert topo.rank(topo.coord(rank)) == rank
+
+
+def test_coord_layout_row_major():
+    topo = MeshTopology(2, 3)
+    assert topo.coord(0) == (0, 0)
+    assert topo.coord(2) == (0, 2)
+    assert topo.coord(3) == (1, 0)
+    assert topo.coord(5) == (1, 2)
+
+
+def test_bad_shapes_and_ranks():
+    with pytest.raises(ValueError):
+        MeshTopology(0, 3)
+    topo = MeshTopology(2, 2)
+    with pytest.raises(ValueError):
+        topo.coord(4)
+    with pytest.raises(ValueError):
+        topo.rank((2, 0))
+
+
+def test_neighbors_corner_edge_center():
+    topo = MeshTopology(3, 3)
+    assert sorted(topo.neighbors(0)) == [1, 3]  # corner
+    assert sorted(topo.neighbors(1)) == [0, 2, 4]  # edge
+    assert sorted(topo.neighbors(4)) == [1, 3, 5, 7]  # center
+
+
+def test_links_are_directed_pairs():
+    topo = MeshTopology(2, 2)
+    links = set(topo.links())
+    assert (0, 1) in links and (1, 0) in links
+    assert (0, 3) not in links  # not adjacent
+    assert len(links) == 8  # 4 undirected edges x 2 directions
+
+
+def test_route_x_then_y():
+    topo = MeshTopology(3, 3)
+    # 0=(0,0) -> 8=(2,2): X first to (0,2), then Y down to (2,2).
+    path = topo.route(0, 8)
+    assert path == [(0, 1), (1, 2), (2, 5), (5, 8)]
+
+
+def test_route_same_node_empty():
+    assert MeshTopology(2, 2).route(1, 1) == []
+
+
+def test_route_negative_directions():
+    topo = MeshTopology(2, 3)
+    # 5=(1,2) -> 0=(0,0): X decreasing then Y decreasing.
+    path = topo.route(5, 0)
+    assert path == [(5, 4), (4, 3), (3, 0)]
+
+
+def test_hops_is_manhattan():
+    topo = MeshTopology(4, 4)
+    assert topo.hops(0, 15) == 6
+    assert topo.hops(5, 5) == 0
+    assert topo.diameter == 6
+
+
+@given(st.integers(1, 5), st.integers(1, 5), st.data())
+def test_route_connects_and_has_hop_length(rows, cols, data):
+    """Property: routes are adjacent-step chains of Manhattan length."""
+    topo = MeshTopology(rows, cols)
+    src = data.draw(st.integers(0, topo.nnodes - 1))
+    dst = data.draw(st.integers(0, topo.nnodes - 1))
+    path = topo.route(src, dst)
+    assert len(path) == topo.hops(src, dst)
+    at = src
+    for u, v in path:
+        assert u == at
+        assert v in topo.neighbors(u)
+        at = v
+    if path:
+        assert at == dst

@@ -1,0 +1,116 @@
+"""Tests for the skew model and SKWP cycle-time math (paper §2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vbus.params import LinkParams
+from repro.vbus.signal import (
+    SkewSampler,
+    bandwidth_Bps,
+    cycle_time_s,
+    effective_spread_s,
+    generate_line_skews,
+    mode_comparison,
+)
+
+
+def test_generate_skews_pins_extremes():
+    skews = generate_line_skews(8, 8e-9)
+    assert skews.min() == 0.0
+    assert skews.max() == pytest.approx(8e-9)
+    assert len(skews) == 8
+
+
+def test_generate_skews_single_line():
+    assert generate_line_skews(1, 8e-9).tolist() == [0.0]
+
+
+def test_generate_skews_rejects_zero_lines():
+    with pytest.raises(ValueError):
+        generate_line_skews(0, 1e-9)
+
+
+def test_sampler_compensation_never_negative_and_quantized():
+    sampler = SkewSampler(0.5e-9)
+    skews = generate_line_skews(8, 8e-9, seed=3)
+    comp = sampler.compensations(skews)
+    assert (comp >= -1e-18).all()
+    steps = comp / 0.5e-9
+    assert np.allclose(steps, np.round(steps))
+
+
+def test_sampler_residual_below_resolution():
+    sampler = SkewSampler(0.5e-9)
+    skews = generate_line_skews(32, 8e-9, seed=1)
+    assert sampler.residual_spread(skews) <= 0.5e-9 + 1e-15
+
+
+def test_sampler_rejects_nonpositive_resolution():
+    with pytest.raises(ValueError):
+        SkewSampler(0.0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=50e-9), min_size=2, max_size=64),
+    st.sampled_from([0.1e-9, 0.25e-9, 0.5e-9, 1e-9]),
+)
+def test_sampler_residual_property(skews, resolution):
+    """Property: after compensation, all lines align within one step."""
+    sampler = SkewSampler(resolution)
+    assert sampler.residual_spread(skews) <= resolution + 1e-15
+
+
+def test_default_cycle_times():
+    """Defaults give 20 / 12 / 5 ns cycles: the paper's ~4x SKWP claim."""
+    conv = cycle_time_s(LinkParams(mode="conventional"))
+    wave = cycle_time_s(LinkParams(mode="wave"))
+    skwp = cycle_time_s(LinkParams(mode="skwp"))
+    assert conv == pytest.approx(20e-9)
+    assert wave == pytest.approx(12e-9)
+    assert skwp == pytest.approx(5e-9, rel=0.05)
+    assert skwp < wave < conv
+
+
+def test_skwp_bandwidth_about_4x_conventional():
+    conv, _wave, skwp = mode_comparison(LinkParams())
+    assert 3.5 <= skwp / conv <= 4.5
+
+
+def test_wave_spread_magnifies_with_hops_but_skwp_does_not():
+    wave = LinkParams(mode="wave")
+    skwp = LinkParams(mode="skwp")
+    assert effective_spread_s(wave, hops=3) == pytest.approx(
+        3 * effective_spread_s(wave, hops=1)
+    )
+    assert effective_spread_s(skwp, hops=3) == pytest.approx(
+        effective_spread_s(skwp, hops=1)
+    )
+    # After enough hops untuned wave pipelining is slower than conventional.
+    assert cycle_time_s(wave, hops=5) > cycle_time_s(
+        LinkParams(mode="conventional"), hops=5
+    )
+
+
+def test_conventional_cycle_independent_of_hops():
+    conv = LinkParams(mode="conventional")
+    assert cycle_time_s(conv, hops=1) == cycle_time_s(conv, hops=7)
+
+
+def test_bandwidth_scales_with_width():
+    # Conventional mode: cycle time does not depend on line count, so
+    # doubling the width exactly doubles bandwidth.  (Under SKWP the
+    # quantization residual varies slightly with the number of lines.)
+    narrow = LinkParams(width_bits=8, mode="conventional")
+    wide = LinkParams(width_bits=16, mode="conventional")
+    assert bandwidth_Bps(wide) == pytest.approx(2 * bandwidth_Bps(narrow))
+
+
+def test_hops_validation():
+    with pytest.raises(ValueError):
+        effective_spread_s(LinkParams(), hops=0)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        LinkParams(mode="quantum")

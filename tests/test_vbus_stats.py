@@ -1,0 +1,77 @@
+"""Tests for network utilization reporting and the AVPG DOT export."""
+
+import pytest
+
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.compiler.analysis.parallel import detect_parallelism
+from repro.compiler.postpass.avpg import build_avpg
+from repro.compiler.postpass.spmd import build_regions
+from repro.vbus import ETHERNET_100, build_cluster
+from repro.vbus.params import cluster_for
+from repro.vbus.stats import network_usage, usage_report
+from repro.workloads import synthetic
+
+
+def busy_cluster():
+    cl = build_cluster(4)
+    done = []
+
+    def send(src, dst, n):
+        yield from cl.transfer(src, dst, n)
+        done.append((src, dst))
+
+    cl.sim.process(send(0, 3, 100_000))
+    cl.sim.process(send(1, 2, 50_000))
+    cl.sim.run()
+    assert len(done) == 2
+    return cl
+
+
+def test_network_usage_orders_by_busy_time():
+    cl = busy_cluster()
+    rows = network_usage(cl)
+    assert len(rows) == 8  # 4 undirected edges x 2 on a 2x2 mesh
+    busy = [r.busy_s for r in rows]
+    assert busy == sorted(busy, reverse=True)
+    assert rows[0].messages >= 1
+    assert 0.0 <= rows[0].utilization <= 1.0
+
+
+def test_usage_counts_match_transfers():
+    cl = busy_cluster()
+    rows = {(r.src, r.dst): r for r in network_usage(cl)}
+    # 0 -> 3 routes X-first through 1 on the 2x2 mesh (0=(0,0), 3=(1,1)).
+    assert rows[(0, 1)].messages == 1
+    assert rows[(1, 3)].messages == 1
+    # 1=(0,1) -> 2=(1,0): X-first through 0, then down to 2.
+    assert rows[(1, 0)].messages == 1
+    assert rows[(0, 2)].messages == 1
+    # (1,2) is not a mesh edge on the 2x2, so it has no channel at all.
+    assert (1, 2) not in rows
+
+
+def test_usage_report_text():
+    cl = busy_cluster()
+    text = usage_report(cl, top=3)
+    assert "channel utilization" in text
+    assert text.count("->") == 3
+    assert "freezes" in text
+
+
+def test_usage_requires_mesh():
+    cl = build_cluster(4, params=cluster_for(4, ETHERNET_100))
+    with pytest.raises(ValueError):
+        network_usage(cl)
+
+
+def test_avpg_to_dot():
+    unit = lower_program(parse(synthetic.avpg_chain(8))).main
+    detect_parallelism(unit)
+    regions = build_regions(unit.body)
+    g = build_avpg(regions, unit.symtab, live_out={"D"})
+    dot = g.to_dot()
+    assert dot.startswith("digraph avpg")
+    assert "cluster_A" in dot and "cluster_B" in dot
+    assert "eliminated" in dot  # B's Valid -> Invalid edge
+    assert dot.count("subgraph") == len(g.arrays)
