@@ -1,0 +1,153 @@
+"""Wall-clock benchmark of the cross-layer simulation fast path.
+
+Unlike the ``bench_*`` figure reproductions (which report *simulated*
+seconds), this script measures **host wall-clock seconds** to compile and
+simulate each workload, comparing:
+
+* ``baseline`` — the pre-optimization configuration: legacy ``np.unique``
+  LMAD enumeration (no memoization), cold compile cache, and the stepwise
+  event-per-hop DES accounting (``fast_path=False``);
+* ``fast`` — the optimized stack: memoized/sorted-disjoint LMAD analysis,
+  compile cache (cold at start of each workload), and batched analytic
+  transfer accounting (``fast_path=True``).
+
+Both configurations must produce the **identical** simulated time — the
+fast path is an accounting optimization, not a model change — and the
+script asserts it before reporting a speedup.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--quick] [-o OUT]
+
+Results are written to ``BENCH_PR1.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.compiler.analysis import lmad as lmad_mod
+from repro.compiler.analysis.lmad import set_legacy_enumeration
+from repro.compiler.pipeline import clear_compile_cache, compile_source
+from repro.runtime.executor import run_program
+from repro.vbus.params import VBUS_SKWP, cluster_for
+from repro.workloads import cffzinit, mm, swim
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _workloads(quick: bool):
+    out = [
+        ("MM-256", mm.source(256), "fine"),
+        ("SWIM-64", swim.source(64), "fine"),
+        ("CFFZINIT-M9", cffzinit.source(9), "fine"),
+    ]
+    if not quick:
+        out.insert(1, ("MM-1024", mm.source(1024), "fine"))
+    return out
+
+
+def _clear_analysis_caches():
+    clear_compile_cache()
+    lmad_mod._enumerate_impl.cache_clear()
+    lmad_mod._intersect_count.cache_clear()
+
+
+def _measure(source, granularity, nprocs, *, fast: bool):
+    """Wall-clock seconds to compile + simulate one workload once."""
+    _clear_analysis_caches()
+    set_legacy_enumeration(not fast)
+    try:
+        params = cluster_for(nprocs, VBUS_SKWP)
+        from dataclasses import replace
+
+        params = replace(params, fast_path=fast)
+        t0 = time.perf_counter()
+        prog = compile_source(source, nprocs=nprocs, granularity=granularity)
+        t_compile = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        report = run_program(prog, cluster_params=params, execute=False)
+        t_run = time.perf_counter() - t1
+    finally:
+        set_legacy_enumeration(False)
+    return {
+        "wall_s": t_compile + t_run,
+        "compile_s": t_compile,
+        "run_s": t_run,
+        "simulated_s": report.total_s,
+        "hw": {k: v for k, v in report.hw.items()},
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="skip the MM-1024 scale (CI smoke run)")
+    ap.add_argument("-o", "--output",
+                    default=os.path.join(ROOT, "BENCH_PR1.json"))
+    args = ap.parse_args(argv)
+
+    rows = []
+    for name, source, granularity in _workloads(args.quick):
+        for nprocs in (4, 16):
+            base = _measure(source, granularity, nprocs, fast=False)
+            fast = _measure(source, granularity, nprocs, fast=True)
+            if fast["simulated_s"] != base["simulated_s"]:
+                raise SystemExit(
+                    f"{name}/{nprocs}: fast path diverged "
+                    f"({fast['simulated_s']} != {base['simulated_s']})"
+                )
+            speedup = base["wall_s"] / fast["wall_s"]
+            legs = fast["hw"].get("fast_legs", 0)
+            fb = fast["hw"].get("fast_fallbacks", 0)
+            rows.append({
+                "workload": name,
+                "nprocs": nprocs,
+                "baseline_wall_s": round(base["wall_s"], 4),
+                "baseline_compile_s": round(base["compile_s"], 4),
+                "baseline_run_s": round(base["run_s"], 4),
+                "fast_wall_s": round(fast["wall_s"], 4),
+                "fast_compile_s": round(fast["compile_s"], 4),
+                "fast_run_s": round(fast["run_s"], 4),
+                "speedup": round(speedup, 2),
+                "simulated_s": base["simulated_s"],
+                "fast_legs": int(legs),
+                "fast_fallbacks": int(fb),
+            })
+            print(
+                f"{name:14s} x{nprocs:<3d} "
+                f"baseline {base['wall_s']:7.3f}s  "
+                f"fast {fast['wall_s']:7.3f}s  "
+                f"speedup {speedup:6.2f}x  "
+                f"(simulated {base['simulated_s'] * 1e3:.3f} ms, "
+                f"identical)"
+            )
+
+    payload = {
+        "benchmark": "bench_wallclock",
+        "metric": "host wall-clock seconds to compile + simulate",
+        "baseline": ("legacy LMAD enumeration, cold caches, "
+                     "stepwise DES accounting"),
+        "fast": ("memoized analysis, compile cache, "
+                 "batched transfer accounting (fast_path=True)"),
+        "rows": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.output}")
+
+    mm1024 = [r for r in rows
+              if r["workload"] == "MM-1024" and r["nprocs"] == 4]
+    if mm1024 and mm1024[0]["speedup"] < 5.0:
+        print(f"WARNING: MM-1024 x4 speedup {mm1024[0]['speedup']}x "
+              "below the 5x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

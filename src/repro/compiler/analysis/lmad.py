@@ -16,6 +16,7 @@ direction into the base.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from math import gcd
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,64 @@ __all__ = ["Dim", "LMAD"]
 #: Above this many points, exact set operations fall back to conservative
 #: interval/GCD reasoning.
 _EXACT_LIMIT = 1 << 21
+
+#: When True, point-set operations run the original unmemoized
+#: ``np.unique`` algorithm.  Only benchmarks use this — it reproduces the
+#: pre-optimization baseline so speedups are measured against the real
+#: thing — and tests, to assert both implementations agree.
+_LEGACY_ENUMERATION = False
+
+
+def set_legacy_enumeration(flag: bool) -> None:
+    """Toggle the unmemoized reference enumeration (benchmarks/tests)."""
+    global _LEGACY_ENUMERATION
+    if flag != _LEGACY_ENUMERATION:
+        _LEGACY_ENUMERATION = bool(flag)
+        _enumerate_impl.cache_clear()
+        _intersect_count.cache_clear()
+
+
+@lru_cache(maxsize=8192)
+def _enumerate_impl(lmad: "LMAD") -> np.ndarray:
+    """Sorted distinct offsets of ``lmad`` (memoized, read-only array).
+
+    LMADs are frozen/hashable and the postpass re-analyzes the same
+    descriptors many times (per rank, per grain, per region), so this is
+    the compiler's hottest function.  Beyond memoization, dimensions whose
+    ascending strides each exceed the cumulative span of the dimensions
+    below them generate points that are *already sorted and distinct* when
+    built larger-stride-outermost — the `np.unique` sort (the dominant
+    cost for dense descriptors) is skipped entirely.  Row-major array
+    nests (stride_k = product of inner extents) always qualify.
+    """
+    dims = sorted((d for d in lmad.dims if d.count > 1), key=lambda d: d.stride)
+    disjoint = True
+    span_total = 0
+    for d in dims:
+        if d.stride <= span_total:
+            disjoint = False
+            break
+        span_total += d.span
+    pts = np.array([lmad.base], dtype=np.int64)
+    if disjoint:
+        for d in dims:
+            # Larger stride outermost: blocks are disjoint and ordered.
+            pts = (d.offsets()[:, None] + pts[None, :]).ravel()
+    else:
+        for d in dims:
+            pts = (pts[:, None] + d.offsets()[None, :]).ravel()
+        pts = np.unique(pts)
+    pts.flags.writeable = False
+    return pts
+
+
+@lru_cache(maxsize=16384)
+def _intersect_count(a: "LMAD", b: "LMAD") -> int:
+    """Memoized |points(a) ∩ points(b)| for small exact descriptors."""
+    return int(
+        len(np.intersect1d(_enumerate_impl(a), _enumerate_impl(b),
+                           assume_unique=True))
+    )
 
 
 @dataclass(frozen=True)
@@ -139,15 +198,21 @@ class LMAD:
 
     # -- exact point sets ------------------------------------------------------
     def enumerate(self) -> np.ndarray:
-        """All touched offsets, sorted, without duplicates."""
+        """All touched offsets, sorted, without duplicates.
+
+        The result is memoized per descriptor and returned as a
+        **read-only** array — callers must copy before mutating.
+        """
         if self.nominal_count > _EXACT_LIMIT:
             raise ValueError(
                 f"LMAD too large to enumerate ({self.nominal_count} points)"
             )
-        pts = np.array([self.base], dtype=np.int64)
-        for d in self.dims:
-            pts = (pts[:, None] + d.offsets()[None, :]).ravel()
-        return np.unique(pts)
+        if _LEGACY_ENUMERATION:
+            pts = np.array([self.base], dtype=np.int64)
+            for d in self.dims:
+                pts = (pts[:, None] + d.offsets()[None, :]).ravel()
+            return np.unique(pts)
+        return _enumerate_impl(self)
 
     def count_distinct(self) -> int:
         return len(self.enumerate())
@@ -183,9 +248,11 @@ class LMAD:
         if g > 1 and (self.base - other.base) % g != 0:
             return False
         if self._small(other):
-            a = self.enumerate()
-            b = other.enumerate()
-            return bool(len(np.intersect1d(a, b, assume_unique=True)))
+            if _LEGACY_ENUMERATION:
+                mine = self.enumerate()
+                theirs = other.enumerate()
+                return bool(len(np.intersect1d(mine, theirs, assume_unique=True)))
+            return _intersect_count(self, other) > 0
         return True  # conservative
 
     def contains(self, other: "LMAD") -> bool:
@@ -196,9 +263,12 @@ class LMAD:
         if other.min_offset < self.min_offset or other.max_offset > self.max_offset:
             return False
         if self._small(other):
-            a = self.enumerate()
-            b = other.enumerate()
-            return len(np.intersect1d(a, b, assume_unique=True)) == len(b)
+            if _LEGACY_ENUMERATION:
+                mine = self.enumerate()
+                theirs = other.enumerate()
+                inter = np.intersect1d(mine, theirs, assume_unique=True)
+                return len(inter) == len(theirs)
+            return _intersect_count(self, other) == other.count_distinct()
         return False  # conservative
 
     def _stride_gcd(self) -> int:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.compiler.frontend.lower import lower_program
 from repro.compiler.frontend.parser import parse
@@ -11,7 +12,35 @@ from repro.compiler.postpass.driver import run_postpass
 from repro.compiler.postpass.granularity import GRAINS
 from repro.runtime.program import SpmdProgram
 
-__all__ = ["CompileOptions", "compile_source", "compile_file"]
+__all__ = [
+    "CompileOptions",
+    "compile_source",
+    "compile_file",
+    "clear_compile_cache",
+    "compile_cache_stats",
+]
+
+#: Memoized compilations, keyed by (source, CompileOptions), LRU-evicted.
+#: Benchmarks and parameter sweeps recompile identical workloads dozens of
+#: times; compilation is pure (source + options fully determine the
+#: program) and the runtime does not mutate SpmdProgram, so sharing the
+#: compiled object is safe.
+_COMPILE_CACHE: "OrderedDict[Tuple[str, CompileOptions], SpmdProgram]" = (
+    OrderedDict()
+)
+_COMPILE_CACHE_MAX = 128
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the compile cache (copies, for reports)."""
+    return dict(_CACHE_STATS)
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
 
 
 @dataclass(frozen=True)
@@ -63,8 +92,19 @@ def compile_source(
         options = CompileOptions(
             nprocs=nprocs, granularity=granularity, **kwargs
         )
+    key = (source, options)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        _COMPILE_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+        return cached
+    _CACHE_STATS["misses"] += 1
     program = lower_program(parse(source))
-    return run_postpass(program.main, options)
+    spmd = run_postpass(program.main, options)
+    _COMPILE_CACHE[key] = spmd
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.popitem(last=False)
+    return spmd
 
 
 def compile_file(path: str, **kwargs) -> SpmdProgram:

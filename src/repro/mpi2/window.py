@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.mpi2.exceptions import MpiError
 from repro.mpi2.ops import ReduceOp
-from repro.sim import AllOf, Process, Resource
+from repro.sim import AllOf, Event, Resource
 
 __all__ = ["Win"]
 
@@ -56,7 +56,9 @@ class Win:
         self._state = state
         self._comm = comm
         self.rank = comm.rank
-        self._outstanding: List[Process] = []
+        #: Open hardware legs: stepwise wire Processes or fast-path
+        #: completion Events — both are events with ``triggered``.
+        self._outstanding: List[Event] = []
         #: Counters, split by primitive flavour (feeds Table 2's analysis).
         self.puts_contig = 0
         self.puts_strided = 0

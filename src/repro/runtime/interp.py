@@ -45,8 +45,26 @@ def _is_int_like(x) -> bool:
 
 
 def _trunc_div(a, b):
-    """Fortran integer division: truncate toward zero."""
-    q = np.trunc(np.asarray(a, dtype=np.float64) / np.asarray(b, dtype=np.float64))
+    """Fortran integer division: truncate toward zero, exactly.
+
+    Must not round-trip through float64: for |operands| > 2**53 the
+    division loses low bits and the truncated quotient comes out wrong
+    (e.g. (2**62 + 1) / 1).  Integer-only identity instead:
+    ``trunc(a/b) == sign(a)*sign(b) * (|a| // |b|)``.
+    """
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        a = int(a)
+        b = int(b)
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    aa = np.asarray(a)
+    bb = np.asarray(b)
+    if aa.dtype.kind in "iu" and bb.dtype.kind in "iu":
+        sign = np.where((aa < 0) != (bb < 0), -1, 1)
+        out = sign * (np.abs(aa.astype(np.int64)) // np.abs(bb.astype(np.int64)))
+        return int(out) if out.ndim == 0 else out
+    # Mixed/float operands: original float semantics.
+    q = np.trunc(aa.astype(np.float64) / bb.astype(np.float64))
     out = q.astype(np.int64)
     return int(out) if out.ndim == 0 else out
 

@@ -1,4 +1,21 @@
-"""Discrete-event simulation kernel: events, processes, and the scheduler."""
+"""Discrete-event simulation kernel: events, processes, and the scheduler.
+
+The kernel is the wall-clock bottleneck of the whole simulator (every NIC
+setup, DMA grant, router hop, and fence turns into events), so the data
+structures are tuned:
+
+* events carry ``__slots__`` and store their first waiter in a dedicated
+  slot (``_cb1``) — the common single-waiter case never allocates a
+  callback list;
+* a monotonically increasing sequence number breaks heap ties, giving
+  deterministic FIFO ordering of same-time, same-priority events;
+* scheduled events can be *cancelled* lazily (the heap entry is skipped
+  when popped) — the batched transfer fast path uses this to retract an
+  analytically scheduled completion when a V-Bus freeze interrupts it;
+* internal single-shot timeouts can be *pooled*: the fast path marks them
+  ``_poolable`` and the kernel recycles them through a free list instead
+  of allocating a fresh object per event.
+"""
 
 from __future__ import annotations
 
@@ -23,6 +40,9 @@ NORMAL = 1
 #: Sentinel distinguishing "not yet triggered" from a triggered None value.
 _PENDING = object()
 
+#: Upper bound on the recycled-timeout free list.
+_POOL_MAX = 256
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (double trigger, yielding a non-event, ...)."""
@@ -44,11 +64,65 @@ class Event:
     Processes wait on events by yielding them.
     """
 
+    __slots__ = (
+        "sim",
+        "_cb1",
+        "_cbs",
+        "_value",
+        "_ok",
+        "_processed",
+        "_defused",
+        "_cancelled",
+        "_poolable",
+    )
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = _PENDING
         self._ok = True
+        self._processed = False
+        self._defused = False
+        self._cancelled = False
+        self._poolable = False
+
+    # -- callback storage --------------------------------------------------
+    # The first waiter lives in ``_cb1``; only a second waiter allocates the
+    # overflow list.  ``processed`` is a flag, not "callbacks is None", so
+    # the single-waiter case costs one attribute store.
+    def _add_cb(self, cb: Callable[["Event"], None]) -> None:
+        if self._cb1 is None and self._cbs is None:
+            self._cb1 = cb
+        elif self._cbs is None:
+            self._cbs = [cb]
+        else:
+            self._cbs.append(cb)
+
+    def _remove_cb(self, cb: Callable[["Event"], None]) -> None:
+        # ``==`` not ``is``: bound methods are re-created on each attribute
+        # access, so identity would never match a previously stored one.
+        if self._cb1 == cb:
+            self._cb1 = None
+            if self._cbs:
+                self._cb1 = self._cbs.pop(0)
+        elif self._cbs is not None:
+            try:
+                self._cbs.remove(cb)
+            except ValueError:
+                pass
+
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """Pending callbacks (None once processed) — debugging/introspection."""
+        if self._processed:
+            return None
+        out: List[Callable[["Event"], None]] = []
+        if self._cb1 is not None:
+            out.append(self._cb1)
+        if self._cbs:
+            out.extend(self._cbs)
+        return out
 
     # -- state ------------------------------------------------------------
     @property
@@ -59,12 +133,12 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run (the event is fully consumed)."""
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
         """True when triggered with :meth:`succeed` rather than :meth:`fail`."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -77,7 +151,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event with ``value``; callbacks run at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
         self.sim._schedule(self, priority=NORMAL)
@@ -85,7 +159,7 @@ class Event:
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event as failed; waiters will see ``exc`` raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -102,6 +176,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
@@ -114,10 +190,12 @@ class Timeout(Event):
 class _Initialize(Event):
     """Internal: kicks a new process on the next scheduler step."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
         self._value = None
-        self.callbacks.append(process._resume)
+        self._cb1 = process._resume
         sim._schedule(self, priority=URGENT)
 
 
@@ -127,6 +205,8 @@ class Process(Event):
     The process is itself an event: it triggers with the generator's return
     value when the generator finishes, so processes can wait on each other.
     """
+
+    __slots__ = ("name", "_generator", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -146,21 +226,19 @@ class Process(Event):
             raise SimulationError(f"{self!r} has terminated; cannot interrupt")
         if self._target is not None and not isinstance(self._target, _Initialize):
             # Detach from the event we were waiting on.
-            if self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+            if not self._target._processed:
+                self._target._remove_cb(self._resume)
         hit = Event(self.sim)
         hit._value = Interrupt(cause)
         hit._ok = False
         hit._defused = True
-        hit.callbacks = [self._resume]
+        hit._cb1 = self._resume
         self.sim._schedule(hit, priority=URGENT)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the event's outcome."""
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
                 step = self._generator.send(event._value)
@@ -168,33 +246,33 @@ class Process(Event):
                 event._defused = True
                 step = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self._target = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self._target = None
             self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
 
         if not isinstance(step, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {step!r}"
             )
-        if step.sim is not self.sim:
+        if step.sim is not sim:
             raise SimulationError("yielded event belongs to another simulator")
         self._target = step
-        if step.callbacks is None:
+        if step._processed:
             # Already processed: resume immediately on the next step.
-            ping = Event(self.sim)
+            ping = Event(sim)
             ping._value = step._value
             ping._ok = step._ok
-            ping.callbacks = [self._resume]
-            self.sim._schedule(ping, priority=URGENT)
+            ping._cb1 = self._resume
+            sim._schedule(ping, priority=URGENT)
         else:
-            step.callbacks.append(self._resume)
+            step._add_cb(self._resume)
 
     def __repr__(self) -> str:
         state = "done" if self.triggered else "alive"
@@ -203,6 +281,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -215,10 +295,10 @@ class _Condition(Event):
             self.succeed({})
             return
         for ev in self.events:
-            if ev.callbacks is None:
+            if ev._processed:
                 self._check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev._add_cb(self._check)
 
     def _collect(self) -> dict:
         # Only *processed* events count: a Timeout carries its value from
@@ -226,7 +306,7 @@ class _Condition(Event):
         return {
             i: ev._value
             for i, ev in enumerate(self.events)
-            if ev.processed and ev._ok
+            if ev._processed and ev._ok
         }
 
     def _check(self, event: Event) -> None:
@@ -235,6 +315,8 @@ class _Condition(Event):
 
 class AllOf(_Condition):
     """Triggers when every constituent event has triggered."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -250,6 +332,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers as soon as any constituent event triggers."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -269,6 +353,7 @@ class Simulator:
         self._queue: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._tpool: List[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -283,11 +368,39 @@ class Simulator:
     def event(self) -> Event:
         return Event(self)
 
+    def completed_event(self, value: Any = None) -> Event:
+        """An event that is already triggered *and* processed.
+
+        Waiting on it resumes on the next step at the current time, with
+        no scheduling of its own — the zero-cost stand-in for degenerate
+        work (e.g. a rank-local transfer) on the fast path.
+        """
+        ev = Event(self)
+        ev._value = value
+        ev._processed = True
+        return ev
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
+
+    def timeout_at(self, at: float, value: Any = None) -> Timeout:
+        """A timeout firing at *absolute* time ``at``.
+
+        Unlike ``timeout(at - now)``, the heap entry carries ``at`` exactly
+        — no ``now + delay`` re-rounding — which the batched transfer fast
+        path relies on to reproduce stepwise float arithmetic bit-for-bit.
+        """
+        if at < self._now:
+            raise SimulationError(f"timeout at {at} lies in the past")
+        t = Timeout.__new__(Timeout)
+        Event.__init__(t, self)
+        t.delay = at - self._now
+        t._value = value
+        self._schedule_at(t, at, priority=NORMAL)
+        return t
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -295,20 +408,83 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    # -- pooled one-shot timeouts -----------------------------------------
+    def pooled_timeout_at(
+        self, at: float, callback: Callable[[Event], None]
+    ) -> Timeout:
+        """A recycled single-callback timeout scheduled at absolute time ``at``.
+
+        Internal fast-path use only: the caller promises to drop its
+        reference once the timeout fires or is cancelled, so the kernel may
+        hand the object out again.  ``at`` must not lie in the past.
+        """
+        if at < self._now:
+            raise SimulationError(f"pooled timeout at {at} lies in the past")
+        if self._tpool:
+            t = self._tpool.pop()
+            t.delay = at - self._now
+            t._value = None
+        else:
+            t = Timeout.__new__(Timeout)
+            Event.__init__(t, self)
+            t.delay = at - self._now
+            t._value = None
+        t._poolable = True
+        t._cb1 = callback
+        self._schedule_at(t, at, priority=NORMAL)
+        return t
+
+    def _recycle(self, t: Timeout) -> None:
+        if len(self._tpool) < _POOL_MAX:
+            t._cb1 = None
+            t._cbs = None
+            t._value = _PENDING
+            t._ok = True
+            t._processed = False
+            t._defused = False
+            t._cancelled = False
+            t._poolable = False
+            self._tpool.append(t)
+
+    def cancel(self, event: Event) -> None:
+        """Retract a scheduled-but-unprocessed event (lazy heap deletion)."""
+        if event._processed:
+            raise SimulationError("cannot cancel a processed event")
+        event._cancelled = True
+
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
         self._seq += 1
 
+    def _schedule_at(self, event: Event, at: float, priority: int) -> None:
+        """Schedule at an absolute timestamp (no ``now + delay`` rounding)."""
+        heapq.heappush(self._queue, (at, priority, self._seq, event))
+        self._seq += 1
+
     def _step(self) -> None:
         when, _prio, _seq, event = heapq.heappop(self._queue)
+        if event._cancelled:
+            # Lazily deleted: advance the clock (monotonic; `when` is still
+            # the earliest queued timestamp) and recycle if pooled.
+            self._now = when
+            if event._poolable:
+                self._recycle(event)
+            return
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        event._processed = True
+        cb1, event._cb1 = event._cb1, None
+        if cb1 is not None:
+            cb1(event)
+        if event._cbs is not None:
+            cbs, event._cbs = event._cbs, None
+            for cb in cbs:
+                cb(event)
+        if not event._ok and not event._defused:
             # A failure nobody waited on must not pass silently.
             raise event._value
+        if event._poolable:
+            self._recycle(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the queue drains, a time limit, or an event triggers.
@@ -325,13 +501,15 @@ class Simulator:
             if stop_time < self._now:
                 raise SimulationError("until lies in the past")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        step = self._step
+        while queue:
+            if stop_event is not None and stop_event._processed:
                 break
-            if stop_time is not None and self._queue[0][0] > stop_time:
+            if stop_time is not None and queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self._step()
+            step()
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -346,5 +524,12 @@ class Simulator:
         return None
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf when drained."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next live scheduled event, or +inf when drained.
+
+        Cancelled entries are discarded (and recycled) on the way."""
+        q = self._queue
+        while q and q[0][3]._cancelled:
+            _, _, _, ev = heapq.heappop(q)
+            if ev._poolable:
+                self._recycle(ev)
+        return q[0][0] if q else float("inf")

@@ -44,6 +44,18 @@ class Resource:
             self._waiters.append(ev)
         return ev
 
+    def try_acquire(self) -> bool:
+        """Take one unit immediately if available; never queues.
+
+        Returns True on success (caller owns a unit and must ``release``),
+        False when the resource is saturated.  The transfer fast path uses
+        this to claim a whole channel path atomically or not at all.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
+
     def release(self) -> None:
         """Return one unit; the oldest waiter (if any) is granted immediately."""
         if self._in_use <= 0:

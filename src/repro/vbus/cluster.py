@@ -20,6 +20,7 @@ from repro.vbus.ethernet import EthernetNetwork
 from repro.vbus.host import Host
 from repro.vbus.mesh import MeshTopology
 from repro.vbus.nic import Nic, RECV_OVERHEAD_S, TransferReceipt
+from repro.vbus.fastpath import start_fast_leg
 from repro.vbus.params import ClusterParams, VBUS_SKWP, cluster_for
 from repro.vbus.router import WormholeMesh
 from repro.vbus.signal import bandwidth_Bps
@@ -58,7 +59,7 @@ class Cluster:
                 max(1, self.topology.diameter) * params.link.router_delay_s + 1e-6
             )
             self.vbusctl: Optional[VBusController] = VBusController(
-                sim, self.domain, setup_s=setup
+                sim, self.domain, setup_s=setup, fast=params.fast_path
             )
         else:
             self.mesh = None
@@ -105,12 +106,19 @@ class Cluster:
                 total_s=0.0,
             )
 
+        fast_start = None
         if self.mesh is not None:
             network_call = lambda cap: self.mesh.unicast(src, dst, nbytes, cap)
+            if self.params.fast_path:
+                fast_start = lambda cap, tail_s, at_release: start_fast_leg(
+                    self.mesh, src, dst, nbytes, cap, tail_s,
+                    at_release=at_release,
+                )
         else:
             network_call = lambda cap: self.ethernet.unicast(src, dst, nbytes, cap)
         receipt = yield from self.nics[src].transfer(
-            network_call, nbytes, elements=elements, contiguous=contiguous
+            network_call, nbytes, elements=elements, contiguous=contiguous,
+            fast_start=fast_start,
         )
         self.hosts[src].charge_comm_cpu(receipt.cpu_s)
         return receipt
@@ -171,12 +179,16 @@ class Cluster:
         if elements is None:
             elements = max(1, nbytes // 8)
         if origin == remote or nbytes == 0:
+            if self.params.fast_path:
+                # No hardware leg: a pre-completed event costs zero kernel
+                # steps (the stepwise _noop process costs two per call).
+                return 0.0, self.sim.completed_event()
             done = self.sim.process(_noop(), name="rma-local")
             return 0.0, done
 
         nic = self.nics[origin]
-        cpu_s = nic.software_setup_s()
-        yield self.sim.timeout(cpu_s)
+        setup_s = nic.software_setup_s()
+        cpu_s = setup_s
 
         src, dst = (origin, remote) if direction == "put" else (remote, origin)
         if self.mesh is not None:
@@ -184,17 +196,34 @@ class Cluster:
         else:
             wire_call = lambda cap: self.ethernet.unicast(src, dst, nbytes, cap)
 
+        fast = self.params.fast_path and self.mesh is not None
+        completion = None
+        if not fast or contiguous:
+            yield self.sim.timeout(setup_s)
         if contiguous:
-            yield nic._dma.request()
+            # Fast path: take a free DMA engine synchronously (same
+            # simulated instant as the immediately-granted request).
+            if not (fast and nic._dma.try_acquire()):
+                yield nic._dma.request()
             yield self.sim.timeout(self.params.nic.dma_setup_s)
             cpu_s += self.params.nic.dma_setup_s
 
-            def wire():
-                try:
-                    yield from wire_call(self.params.nic.dma_rate_Bps)
-                    yield self.sim.timeout(RECV_OVERHEAD_S)
-                finally:
-                    nic._dma.release()
+            if fast:
+                # The stepwise wire process releases the DMA engine in its
+                # ``finally`` — after the receive tail — so hook it there.
+                completion = start_fast_leg(
+                    self.mesh, src, dst, nbytes,
+                    self.params.nic.dma_rate_Bps, RECV_OVERHEAD_S,
+                    at_tail=nic._dma.release,
+                )
+            if completion is None:
+
+                def wire():
+                    try:
+                        yield from wire_call(self.params.nic.dma_rate_Bps)
+                        yield self.sim.timeout(RECV_OVERHEAD_S)
+                    finally:
+                        nic._dma.release()
 
             nic.dma_transfers += 1
         else:
@@ -202,15 +231,29 @@ class Cluster:
                 self.params.nic.pio_setup_s
                 + elements * self.params.nic.pio_per_element_s
             )
-            yield self.sim.timeout(pio)
+            if fast:
+                # Merged setup + per-element copy: one event, bit-identical
+                # end time (sequential additions, as stepwise fires them).
+                yield self.sim.timeout_at((self.sim.now + setup_s) + pio)
+            else:
+                yield self.sim.timeout(pio)
             cpu_s += pio
             nic.pio_elements += elements
 
-            def wire():
-                yield from wire_call(None)
-                yield self.sim.timeout(RECV_OVERHEAD_S)
+            if fast:
+                completion = start_fast_leg(
+                    self.mesh, src, dst, nbytes, None, RECV_OVERHEAD_S
+                )
+            if completion is None:
 
-        completion = self.sim.process(wire(), name=f"rma-wire[{origin}->{remote}]")
+                def wire():
+                    yield from wire_call(None)
+                    yield self.sim.timeout(RECV_OVERHEAD_S)
+
+        if completion is None:
+            completion = self.sim.process(
+                wire(), name=f"rma-wire[{origin}->{remote}]"
+            )
         nic.messages += 1
         nic.bytes += nbytes
         nic.cpu_busy_s += cpu_s
@@ -239,6 +282,9 @@ class Cluster:
         if self.mesh is not None:
             out["mesh_messages"] = self.mesh.messages
             out["mesh_bytes"] = self.mesh.bytes
+            out["fast_legs"] = self.mesh.fast_legs
+            out["fast_fallbacks"] = self.mesh.fast_fallbacks
+            out["fast_demotions"] = self.mesh.fast_demotions
         if self.ethernet is not None:
             out["ether_messages"] = self.ethernet.messages
             out["ether_bytes"] = self.ethernet.bytes

@@ -22,6 +22,11 @@ class MeshTopology:
             raise ValueError(f"bad mesh {rows}x{cols}")
         self.rows = rows
         self.cols = cols
+        #: Memoized XY routes — at most nnodes² entries, recomputed
+        #: thousands of times per simulated message otherwise.
+        self._route_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     @property
     def nnodes(self) -> int:
@@ -56,7 +61,30 @@ class MeshTopology:
         return out
 
     def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        """XY route as a list of directed links from ``src`` to ``dst``."""
+        """XY route as a list of directed links from ``src`` to ``dst``.
+
+        Cached per (src, dst); callers must not mutate the result.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            self.route_cache_hits += 1
+            return cached
+        self.route_cache_misses += 1
+        path = self._compute_route(src, dst)
+        self._route_cache[(src, dst)] = path
+        return path
+
+    def route_cache_stats(self) -> Dict[str, float]:
+        """Hits, misses and hit rate of the XY-route cache."""
+        hits, misses = self.route_cache_hits, self.route_cache_misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }
+
+    def _compute_route(self, src: int, dst: int) -> List[Tuple[int, int]]:
         if src == dst:
             return []
         sr, sc = self.coord(src)

@@ -75,46 +75,80 @@ class Nic:
         *,
         elements: Optional[int] = None,
         contiguous: bool = True,
+        fast_start=None,
     ) -> Generator:
         """Inject one message; ``network_call(rate_cap)`` produces the wire leg.
 
         ``network_call`` is a callable returning a generator that delivers
         ``nbytes`` through the interconnect, honoring an optional source-side
-        rate cap.  Returns a :class:`TransferReceipt`.
+        rate cap.  ``fast_start(rate_cap, tail_s, at_release)``, when given,
+        may charge the wire leg + receive tail analytically (see
+        :mod:`repro.vbus.fastpath`), returning a completion event — or
+        ``None``, in which case the stepwise ``network_call`` runs.
+        Returns a :class:`TransferReceipt`.
         """
         if elements is None:
             elements = max(1, nbytes // 8)
         t0 = self.sim.now
         cpu_s = 0.0
+        done = None
 
         # Software setup: enqueue on the (possibly shared) message queue.
         setup = self.software_setup_s()
-        yield self.sim.timeout(setup)
-        cpu_s += setup
-
-        if contiguous:
+        if fast_start is not None and not contiguous:
+            # Fast PIO: merge the setup and per-element-copy timeouts into
+            # one event at the bit-identical end time (sequential adds).
+            pio = self.params.pio_setup_s + elements * self.params.pio_per_element_s
+            yield self.sim.timeout_at((self.sim.now + setup) + pio)
+            cpu_s += setup
+            cpu_s += pio
+            done = fast_start(None, RECV_OVERHEAD_S, None)
+            if done is None:
+                yield from network_call(None)
+            self.pio_elements += elements
+        elif contiguous:
+            yield self.sim.timeout(setup)
+            cpu_s += setup
             # DMA path: program a descriptor, then the engine streams the
             # user buffer to the driver buffer and onto the wire without
             # the CPU.  The DMA rate caps the wire streaming rate.
-            yield self._dma.request()
+            # Fast path: a free engine is taken synchronously — same
+            # simulated instant, one kernel event fewer.
+            if fast_start is None or not self._dma.try_acquire():
+                yield self._dma.request()
             try:
                 yield self.sim.timeout(self.params.dma_setup_s)
                 cpu_s += self.params.dma_setup_s
-                yield from network_call(self.params.dma_rate_Bps)
+                if fast_start is not None:
+                    # The fast leg releases the DMA engine at wire-end —
+                    # the same instant the stepwise ``finally`` would.
+                    done = fast_start(
+                        self.params.dma_rate_Bps, RECV_OVERHEAD_S,
+                        self._dma.release,
+                    )
+                if done is None:
+                    yield from network_call(self.params.dma_rate_Bps)
             finally:
-                self._dma.release()
+                if done is None:
+                    self._dma.release()
             self.dma_transfers += 1
         else:
             # PIO path: the CPU itself copies element by element into the
             # driver buffer; only then does the wire leg run.
+            yield self.sim.timeout(setup)
+            cpu_s += setup
             pio = self.params.pio_setup_s + elements * self.params.pio_per_element_s
             yield self.sim.timeout(pio)
             cpu_s += pio
             yield from network_call(None)
             self.pio_elements += elements
 
-        # Receiving daemon dequeues the message.
-        yield self.sim.timeout(RECV_OVERHEAD_S)
+        if done is not None:
+            # Analytic leg: wire streaming + receive dequeue in one wait.
+            yield done
+        else:
+            # Receiving daemon dequeues the message.
+            yield self.sim.timeout(RECV_OVERHEAD_S)
 
         self.messages += 1
         self.bytes += nbytes

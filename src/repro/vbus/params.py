@@ -147,6 +147,10 @@ class ClusterParams:
     #: Bytes per V-Bus streaming chunk when a transfer must be interruptible.
     #: (Only affects freeze granularity, not throughput.)
     chunk_bytes: int = 4096
+    #: Batched transfer accounting: charge provably-uncontended wire legs
+    #: analytically (O(1) events) instead of stepwise.  Simulated results
+    #: are bit-identical (see repro.vbus.fastpath); only wall-clock drops.
+    fast_path: bool = False
 
     def __post_init__(self):
         if self.network not in ("vbus", "ethernet"):

@@ -45,6 +45,22 @@ class Channel:
         self._acquired_at = self.sim.now
         self.messages += 1
 
+    @property
+    def is_free(self) -> bool:
+        return self._res.available > 0 and self._acquired_at is None
+
+    def claim(self, acquired_at: float) -> None:
+        """Nonblocking acquire for the fast path.
+
+        ``acquired_at`` is the (possibly future) hop time the stepwise
+        path would have acquired this channel at — busy-time accounting
+        stays exact because :meth:`release` charges from that timestamp.
+        """
+        if not self._res.try_acquire():
+            raise RuntimeError(f"claim() on busy channel {self!r}")
+        self._acquired_at = acquired_at
+        self.messages += 1
+
     def release(self) -> None:
         if self._acquired_at is not None:
             self.busy_s += self.sim.now - self._acquired_at
@@ -78,6 +94,20 @@ class WormholeMesh:
         self.messages = 0
         self.bytes = 0
         self.flits = 0
+        #: Fast-path accounting (see :mod:`repro.vbus.fastpath`).
+        self.fast_legs = 0
+        self.fast_fallbacks = 0
+        self.fast_demotions = 0
+        self._path_cache: Dict[Tuple[int, int], list] = {}
+
+    def channel_path(self, src: int, dst: int) -> list:
+        """The Channel objects along the XY route (cached per pair)."""
+        key = (src, dst)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = [self.channels[hop] for hop in self.topology.route(src, dst)]
+            self._path_cache[key] = path
+        return path
 
     def unicast(
         self, src: int, dst: int, nbytes: int, rate_cap_Bps: Optional[float] = None
@@ -91,7 +121,7 @@ class WormholeMesh:
         if src == dst:
             return 0.0
         t0 = self.sim.now
-        path = [self.channels[hop] for hop in self.topology.route(src, dst)]
+        path = self.channel_path(src, dst)
         acquired = []
         try:
             for ch in path:

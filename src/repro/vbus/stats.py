@@ -68,4 +68,9 @@ def usage_report(cluster: Cluster, top: Optional[int] = None) -> str:
         f"freezes: {int(stats['freezes'])}, "
         f"frozen time: {stats['frozen_s'] * 1e3:.3f} ms"
     )
+    rc = cluster.topology.route_cache_stats()
+    lines.append(
+        f"  route cache: {int(rc['hits'])} hit(s), "
+        f"{int(rc['misses'])} miss(es) ({rc['hit_rate']:.1%} hit rate)"
+    )
     return "\n".join(lines)

@@ -34,6 +34,19 @@ class FreezeDomain:
         self.freeze_count = 0
         self.total_frozen_s = 0.0
         self._frozen_since: Optional[float] = None
+        #: Live analytically-charged transfers (see repro.vbus.fastpath);
+        #: a freeze demotes each back to the stepwise oracle.
+        self._fast_legs: list = []
+
+    # -- fast-leg ledger ----------------------------------------------------
+    def register_fast_leg(self, leg) -> None:
+        self._fast_legs.append(leg)
+
+    def unregister_fast_leg(self, leg) -> None:
+        try:
+            self._fast_legs.remove(leg)
+        except ValueError:
+            pass
 
     # -- state transitions --------------------------------------------------
     def freeze(self) -> None:
@@ -42,6 +55,10 @@ class FreezeDomain:
         self.frozen = True
         self.freeze_count += 1
         self._frozen_since = self.sim.now
+        if self._fast_legs:
+            now = self.sim.now
+            for leg in list(self._fast_legs):
+                leg.demote(now)
         ev, self._freeze_event = self._freeze_event, Event(self.sim)
         ev.succeed()
 
@@ -93,11 +110,14 @@ class VBusController:
         *,
         setup_s: float,
         release_s: float = 0.0,
+        fast: bool = False,
     ):
         self.sim = sim
         self.domain = domain
         self.setup_s = setup_s
         self.release_s = release_s
+        #: Merge the setup/wave/release timeouts into one scheduled event.
+        self.fast = fast
         self._bus = Resource(sim, capacity=1)
         #: Statistics.
         self.broadcast_count = 0
@@ -115,12 +135,25 @@ class VBusController:
         yield self._bus.request()
         self.domain.freeze()
         try:
-            # Bus construction: claim a path to all destinations.
-            yield self.sim.timeout(self.setup_s)
-            # One wave carries the payload to every node.
-            yield self.sim.timeout(nbytes / rate_Bps)
-            if self.release_s:
-                yield self.sim.timeout(self.release_s)
+            if self.fast:
+                # One scheduled event for setup + wave + release.  The
+                # end time is built by the same sequence of additions the
+                # stepwise timeouts perform (each timeout fires at
+                # ``start + delay``), so it is bit-identical; the domain
+                # is frozen throughout, so nothing can observe the
+                # missing intermediate wakeups.
+                t = self.sim.now + self.setup_s
+                t = t + nbytes / rate_Bps
+                if self.release_s:
+                    t = t + self.release_s
+                yield self.sim.timeout_at(t)
+            else:
+                # Bus construction: claim a path to all destinations.
+                yield self.sim.timeout(self.setup_s)
+                # One wave carries the payload to every node.
+                yield self.sim.timeout(nbytes / rate_Bps)
+                if self.release_s:
+                    yield self.sim.timeout(self.release_s)
             self.broadcast_count += 1
             self.broadcast_bytes += nbytes
         finally:

@@ -268,3 +268,41 @@ def test_whole_array_helper():
 """)
     l = whole_array(unit.symtab.lookup("B"))
     assert l.count_distinct() == 12 and l.is_contiguous
+
+
+# -- memoized enumeration vs the legacy np.unique reference -----------------
+def test_enumeration_matches_legacy_reference():
+    from repro.compiler.analysis.lmad import set_legacy_enumeration
+
+    cases = [
+        LMAD("A", 0, (Dim(1, 7), Dim(8, 24))),        # dense row-major
+        LMAD("A", 5, (Dim(2, 10), Dim(3, 9))),        # overlapping strides
+        LMAD("A", 0, (Dim(4, 12), Dim(1, 2), Dim(16, 48))),
+        LMAD("A", 100, ()),                            # scalar
+        LMAD("A", 0, (Dim(0, 0), Dim(5, 20))),         # degenerate dim
+    ]
+    for lm in cases:
+        fast = lm.enumerate()
+        assert not fast.flags.writeable
+        try:
+            set_legacy_enumeration(True)
+            legacy = lm.enumerate()
+        finally:
+            set_legacy_enumeration(False)
+        np.testing.assert_array_equal(fast, legacy)
+
+
+def test_overlaps_contains_match_legacy_reference():
+    from repro.compiler.analysis.lmad import set_legacy_enumeration
+
+    a = LMAD("A", 0, (Dim(2, 10), Dim(3, 9)))
+    b = LMAD("A", 1, (Dim(2, 10),))
+    c = LMAD("A", 0, (Dim(1, 20),))
+    pairs = [(a, b), (a, c), (b, c), (c, a), (c, b)]
+    fast = [(x.overlaps(y), x.contains(y)) for x, y in pairs]
+    try:
+        set_legacy_enumeration(True)
+        legacy = [(x.overlaps(y), x.contains(y)) for x, y in pairs]
+    finally:
+        set_legacy_enumeration(False)
+    assert fast == legacy

@@ -103,3 +103,35 @@ def test_fortran_emission_stable_across_compiles():
     a = compile_source(mm.source(8), nprocs=2).fortran
     b = compile_source(mm.source(8), nprocs=2).fortran
     assert a == b
+
+
+# -- compile cache ----------------------------------------------------------
+def test_compile_cache_returns_same_program_object():
+    from repro.compiler.pipeline import clear_compile_cache, compile_cache_stats
+
+    clear_compile_cache()
+    src = mm.source(16)
+    p1 = compile_source(src, nprocs=4, granularity="fine")
+    p2 = compile_source(src, nprocs=4, granularity="fine")
+    assert p2 is p1
+    stats = compile_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    # Different options miss.
+    p3 = compile_source(src, nprocs=4, granularity="coarse")
+    assert p3 is not p1
+    assert compile_cache_stats()["misses"] == 2
+    clear_compile_cache()
+
+
+def test_cached_program_reruns_identically():
+    from repro.compiler.pipeline import clear_compile_cache
+
+    clear_compile_cache()
+    src = mm.source(16)
+    prog = compile_source(src, nprocs=4, granularity="fine")
+    r1 = run_program(prog)
+    prog2 = compile_source(src, nprocs=4, granularity="fine")
+    assert prog2 is prog
+    r2 = run_program(prog2)
+    assert r1.total_s == r2.total_s
+    clear_compile_cache()

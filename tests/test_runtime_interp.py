@@ -360,3 +360,37 @@ def test_take_seconds_drains():
     s = it.take_seconds()
     assert s > 0
     assert it.take_seconds() == 0.0
+
+
+# -- exact integer division (regression: float64 round-trip lost low bits) --
+def test_trunc_div_exact_above_2_53():
+    from repro.runtime.interp import _trunc_div
+
+    big = (1 << 62) + 1
+    assert _trunc_div(big, 1) == big
+    assert _trunc_div(big, -1) == -big
+    assert _trunc_div(-big, 1) == -big
+    assert _trunc_div(big, 3) == big // 3
+    # Truncation toward zero, not floor, for negative quotients.
+    assert _trunc_div(-7, 2) == -3
+    assert _trunc_div(7, -2) == -3
+    assert _trunc_div(-7, -2) == 3
+
+
+def test_trunc_div_exact_int64_arrays():
+    from repro.runtime.interp import _trunc_div
+
+    a = np.array([(1 << 62) + 1, -((1 << 60) + 7), 9, -9], dtype=np.int64)
+    b = np.array([1, 3, -2, -2], dtype=np.int64)
+    out = _trunc_div(a, b)
+    expected = np.array(
+        [(1 << 62) + 1, -(((1 << 60) + 7) // 3), -4, 4], dtype=np.int64
+    )
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_trunc_div_float_operands_keep_old_semantics():
+    from repro.runtime.interp import _trunc_div
+
+    assert _trunc_div(7.9, 2.0) == 3
+    assert _trunc_div(-7.9, 2.0) == -3

@@ -315,3 +315,107 @@ def test_event_value_before_trigger_raises():
         _ = ev.value
     with pytest.raises(SimulationError):
         _ = ev.ok
+
+
+# -- fast-path kernel primitives (cancellation, pooling, absolute timeouts) --
+def test_cancel_removes_pending_timeout():
+    sim = Simulator()
+    fired = []
+    t1 = sim.timeout(1.0)
+    t1._add_cb(lambda ev: fired.append("t1"))
+    t2 = sim.timeout(2.0)
+    t2._add_cb(lambda ev: fired.append("t2"))
+    sim.cancel(t1)
+    sim.run()
+    assert fired == ["t2"]
+    assert sim.now == 2.0
+    assert not t1.processed
+
+
+def test_cancel_processed_event_rejected():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.cancel(t)
+
+
+def test_cancelled_head_does_not_pollute_peek():
+    sim = Simulator()
+    t1 = sim.timeout(1.0)
+    sim.timeout(2.0)
+    sim.cancel(t1)
+    assert sim.peek() == 2.0
+
+
+def test_timeout_at_fires_at_exact_absolute_time():
+    sim = Simulator()
+    sim.run(until=0.3)
+    at = 0.3 + 0.7  # deliberately not representable as a round sum
+    t = sim.timeout_at(at, value="v")
+    sim.run()
+    assert sim.now == at
+    assert t.value == "v"
+
+
+def test_timeout_at_in_past_rejected():
+    sim = Simulator()
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.timeout_at(1.0)
+
+
+def test_pooled_timeout_recycled_and_reused():
+    sim = Simulator()
+    calls = []
+    t = sim.pooled_timeout_at(1.0, lambda ev: calls.append(sim.now))
+    sim.run()
+    assert calls == [1.0]
+    # The fired object returns to the free list and is handed out again.
+    t2 = sim.pooled_timeout_at(2.0, lambda ev: calls.append(sim.now))
+    assert t2 is t
+    sim.run()
+    assert calls == [1.0, 2.0]
+
+
+def test_cancelled_pooled_timeout_is_recycled():
+    sim = Simulator()
+    t = sim.pooled_timeout_at(1.0, lambda ev: None)
+    sim.timeout(2.0)
+    sim.cancel(t)
+    sim.run()
+    assert sim.now == 2.0
+    t2 = sim.pooled_timeout_at(3.0, lambda ev: None)
+    assert t2 is t
+
+
+def test_completed_event_is_processed_and_free():
+    sim = Simulator()
+    ev = sim.completed_event(value=42)
+    assert ev.processed and ev.ok and ev.value == 42
+    # Waiting on it resumes via the ping path without advancing time.
+    out = []
+
+    def proc():
+        v = yield ev
+        out.append((sim.now, v))
+
+    sim.process(proc())
+    sim.run()
+    assert out == [(0.0, 42)]
+
+
+def test_all_of_skips_pre_completed_events():
+    sim = Simulator()
+    done = sim.completed_event(value="x")
+    t = sim.timeout(1.0, value="y")
+    results = []
+
+    def proc():
+        got = yield AllOf(sim, [done, t])
+        results.append(got)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 1.0 and len(results) == 1

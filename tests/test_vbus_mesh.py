@@ -85,3 +85,28 @@ def test_route_connects_and_has_hop_length(rows, cols, data):
         at = v
     if path:
         assert at == dst
+
+
+# -- XY-route memoization ----------------------------------------------------
+def test_route_cache_hits_and_identity():
+    topo = MeshTopology(2, 4)
+    first = topo.route(0, 7)
+    again = topo.route(0, 7)
+    assert again is first  # memoized object, not a recomputation
+    stats = topo.route_cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+    assert stats["hit_rate"] == 0.5
+
+
+def test_route_cache_returns_correct_routes():
+    topo = MeshTopology(3, 3)
+    for src in range(topo.nnodes):
+        for dst in range(topo.nnodes):
+            path = topo.route(src, dst)
+            assert len(path) == topo.hops(src, dst)
+            # warmed: every pair resolves from the cache now
+    warm = topo.route_cache_stats()["misses"]
+    for src in range(topo.nnodes):
+        for dst in range(topo.nnodes):
+            topo.route(src, dst)
+    assert topo.route_cache_stats()["misses"] == warm

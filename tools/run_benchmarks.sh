@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 tests + wall-clock benchmark, emitting BENCH_PR1.json.
+#
+# Usage: tools/run_benchmarks.sh [--quick]
+#   --quick   skip the MM-1024 scale (fast CI smoke run)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 tests (slow whole-program tests excluded) =="
+python -m pytest -x -q -m "not slow"
+
+echo
+echo "== slow whole-program equivalence tests =="
+python -m pytest -x -q -m slow
+
+echo
+echo "== wall-clock benchmark =="
+python benchmarks/bench_wallclock.py "$@"
+
+echo
+echo "BENCH_PR1.json:"
+python -c "import json; print(json.dumps(json.load(open('BENCH_PR1.json'))['rows'], indent=2))"
