@@ -1,0 +1,26 @@
+      PROGRAM MM4
+C     24x24 matrix multiply -- the worked tracing example from
+C     docs/TRACE_FORMAT.md.  Run it with:
+C
+C         PYTHONPATH=src python -m repro trace examples/mm4.f --nprocs 4
+C
+      PARAMETER (N = 24)
+      REAL*8 A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          A(I,J) = I + J
+          B(I,J) = I - J
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 1, N
+          C(I,J) = 0.0
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      PRINT *, 'C(1,1) =', C(1,1)
+      PRINT *, 'C(N,N) =', C(N,N)
+      END

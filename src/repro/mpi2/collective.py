@@ -91,6 +91,8 @@ class CollectiveMixin:
             else:
                 yield slot.release_event
         self.comm_s += self.sim.now - t0
+        if self._tracer is not None:
+            self._obs_call("MPI_Barrier", t0)
         self._finish(slot)
 
     Barrier = barrier
@@ -119,6 +121,8 @@ class CollectiveMixin:
         else:
             result = yield from self._bcast_tree(obj, root, slot)
         self.comm_s += self.sim.now - t0
+        if self._tracer is not None:
+            self._obs_call("MPI_Bcast", t0, {"root": root})
         self._finish(slot)
         return result
 
@@ -167,6 +171,8 @@ class CollectiveMixin:
         else:
             result = yield slot.ready[self.rank]
         self.comm_s += self.sim.now - t0
+        if self._tracer is not None:
+            self._obs_call("MPI_Scatter", t0, {"root": root})
         self._finish(slot)
         return result
 
@@ -191,6 +197,8 @@ class CollectiveMixin:
         else:
             result = None
         self.comm_s += self.sim.now - t0
+        if self._tracer is not None:
+            self._obs_call("MPI_Gather", t0, {"root": root})
         self._finish(slot)
         return result
 

@@ -104,6 +104,10 @@ class Comm(CollectiveMixin):
         #: Message/byte counters for reports.
         self.sent_messages = 0
         self.sent_bytes = 0
+        #: Cached at construction so per-call hooks cost one attribute
+        #: test when tracing is off — attach tracers (ClusterParams.trace
+        #: or sim.tracer) *before* building the MPI runtime.
+        self._tracer = state.cluster.sim.tracer
 
     # -- basics ---------------------------------------------------------
     @property
@@ -123,6 +127,20 @@ class Comm(CollectiveMixin):
     def _check_rank(self, r: int, what: str = "rank") -> None:
         if not 0 <= r < self.size:
             raise MpiError(f"{what} {r} out of range (size={self.size})")
+
+    def _obs_call(self, name: str, t0: float, args: Optional[dict] = None) -> None:
+        """Record a completed MPI call on this rank's track.
+
+        Callers guard with ``if self._tracer is not None`` so the hot
+        path pays one attribute test, not a function call, when tracing
+        is off.  Emits the ``[t0, now]`` span plus ``mpi.<name>.calls``
+        / ``mpi.<name>.s`` metrics.
+        """
+        tr = self._tracer
+        if tr is not None:
+            tr.span(("rank", self.rank), name, t0, args=args)
+            tr.count(f"mpi.{name}.calls")
+            tr.observe(f"mpi.{name}.s", tr.sim.now - t0, "s")
 
     # -- transfer plumbing ------------------------------------------------
     def _transfer(
@@ -160,6 +178,10 @@ class Comm(CollectiveMixin):
             yield from self._transfer(dest, nbytes)
             self._state.deliver(dest, msg)
         self.comm_s += self.sim.now - t0
+        if self._tracer is not None:
+            self._obs_call(
+                "MPI_Send", t0, {"dest": dest, "tag": tag, "bytes": nbytes}
+            )
 
     #: Buffer-mode alias (mpi4py capitalizes buffer ops; semantics match here).
     Send = send
@@ -196,6 +218,11 @@ class Comm(CollectiveMixin):
             box.waiting.append((match, ev))
             msg = yield ev
         self.comm_s += self.sim.now - t0
+        if self._tracer is not None:
+            self._obs_call(
+                "MPI_Recv", t0,
+                {"source": msg.source, "tag": msg.tag, "bytes": msg.nbytes},
+            )
         return msg
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:

@@ -18,6 +18,35 @@ follow the MPI-2 fence-epoch discipline:
 Correct usage (which the compiler guarantees) never reads window memory
 that a concurrent epoch is writing, so apply-at-initiation is
 value-equivalent to apply-at-fence.
+
+The window synchronization model, as the paper uses it
+------------------------------------------------------
+
+The compiler emits exactly two synchronization patterns:
+
+* **Fence epochs** for data movement: scatter (master puts to slaves) →
+  fence → compute → collect (slaves put to master) → fence.  Because a
+  put only *initiates* its hardware leg, all of a rank's puts inside an
+  epoch overlap each other (and any compute issued before the fence) on
+  the DMA engine; the fence then pays only the *residual* wait — this is
+  the paper's "data from the user buffer can be copied ... without
+  interrupting the processor".  :meth:`Win.drain` is the fence's
+  drain-own-legs half without the barrier, letting the executor fence
+  many windows with a single shared barrier.
+* **Lock/accumulate** for reduction combine: each slave takes
+  ``MPI_WIN_LOCK`` on the master's scalar window, ``MPI_ACCUMULATE``-s
+  its partial, and unlocks.  Exclusive locks serialize the combines;
+  the lock resource's contention is visible as ``resource.wait.win.lock``
+  metrics when tracing.
+
+Passive-target lock epochs and fence epochs are never mixed on the same
+window by generated code; the model does not need ``MPI_WIN_POST`` /
+``MPI_WIN_START`` generality.
+
+With a tracer attached (``sim.tracer``), every initiation, fence, drain,
+and lock shows up as a span on the calling rank's track — the per-phase
+DMA/PIO overlap the paper could only infer is directly visible in the
+Chrome-trace export (docs/TRACE_FORMAT.md).
 """
 
 from __future__ import annotations
@@ -46,7 +75,10 @@ class _WinState:
                 raise MpiError("window buffers must be 1-D numpy arrays")
         self.cluster = cluster
         self.buffers = buffers
-        self.locks = [Resource(cluster.sim, capacity=1) for _ in buffers]
+        self.locks = [
+            Resource(cluster.sim, capacity=1, obs_name=f"win.lock.{r}")
+            for r in range(len(buffers))
+        ]
 
 
 class Win:
@@ -67,6 +99,8 @@ class Win:
         self.bytes_moved = 0
         #: Simulated seconds spent waiting in fences (drain + barrier).
         self.fence_wait_s = 0.0
+        #: Mirrors Comm's construction-time tracer cache (hot-path guard).
+        self._tracer = comm._tracer
 
     # -- creation -----------------------------------------------------------
     @classmethod
@@ -136,12 +170,20 @@ class Win:
         elif count is None:
             raise MpiError("put(data=None) requires count")
         self._check_span(target, offset, count, stride)
+        tr = self._tracer
+        t0 = self._comm.sim.now if tr is not None else 0.0
         if data is not None:
             buf = self._state.buffers[target]
             buf[self._indices(offset, count, stride)] = data
         yield from self._hardware_leg(
             target, count, itemsize, stride, direction="put"
         )
+        if tr is not None:
+            self._comm._obs_call(
+                "MPI_Put", t0,
+                {"target": target, "bytes": count * itemsize,
+                 "stride": stride},
+            )
 
     def get(
         self,
@@ -153,11 +195,19 @@ class Win:
     ) -> Generator:
         """MPI_GET: read ``count`` elements from ``target``'s window."""
         self._check_span(target, offset, count, stride)
+        tr = self._tracer
+        t0 = self._comm.sim.now if tr is not None else 0.0
         buf = self._state.buffers[target]
         values = buf[self._indices(offset, count, stride)].copy()
         yield from self._hardware_leg(
             target, count, buf.itemsize, stride, direction="get"
         )
+        if tr is not None:
+            self._comm._obs_call(
+                "MPI_Get", t0,
+                {"target": target, "bytes": count * buf.itemsize,
+                 "stride": stride},
+            )
         return values
 
     def accumulate(
@@ -174,12 +224,20 @@ class Win:
         data = np.ascontiguousarray(data).ravel()
         count = data.size
         self._check_span(target, offset, count, stride)
+        tr = self._tracer
+        t0 = self._comm.sim.now if tr is not None else 0.0
         buf = self._state.buffers[target]
         idx = self._indices(offset, count, stride)
         buf[idx] = op(buf[idx], data)
         yield from self._hardware_leg(
             target, count, data.itemsize, stride, direction="put"
         )
+        if tr is not None:
+            self._comm._obs_call(
+                "MPI_Accumulate", t0,
+                {"target": target, "bytes": count * data.itemsize,
+                 "stride": stride},
+            )
 
     def _hardware_leg(
         self, target: int, count: int, itemsize: int, stride: int, direction: str
@@ -277,6 +335,8 @@ class Win:
         self._outstanding.clear()
         self.fence_wait_s += sim.now - t0
         self._comm.comm_s += sim.now - t0
+        if self._tracer is not None:
+            self._comm._obs_call("win-drain", t0, {"open": len(open_ops)})
 
     def fence(self) -> Generator:
         """MPI_WIN_FENCE: drain own operations, then barrier."""
@@ -290,6 +350,8 @@ class Win:
         self._comm.comm_s += sim.now - t0
         yield from self._comm.barrier()
         self.fence_wait_s += sim.now - t0
+        if self._tracer is not None:
+            self._comm._obs_call("MPI_Win_fence", t0, {"open": len(open_ops)})
 
     Fence = fence
 
@@ -297,7 +359,11 @@ class Win:
         """Exclusive lock on ``target``'s window (MPI_WIN_LOCK)."""
         if not 0 <= target < len(self._state.locks):
             raise MpiError(f"target rank {target} out of range")
+        tr = self._tracer
+        t0 = self._comm.sim.now if tr is not None else 0.0
         yield self._state.locks[target].request()
+        if tr is not None:
+            self._comm._obs_call("MPI_Win_lock", t0, {"target": target})
 
     def unlock(self, target: int) -> None:
         """Release the exclusive lock (MPI_WIN_UNLOCK)."""

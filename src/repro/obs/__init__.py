@@ -1,0 +1,43 @@
+"""Cluster-wide observability: structured tracing and metrics.
+
+The ``repro.obs`` package is the run-visibility layer the paper's
+evaluation methodology implies but the original testbed measured by hand:
+per-link, per-phase, per-rank instrumentation of a simulated run.
+
+* :class:`~repro.obs.tracer.Tracer` — the span/event tracer every layer
+  emits into (attached as ``Simulator.tracer``; ``None`` means tracing is
+  off and hooks are single-``if`` no-ops).
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  histograms (``tracer.metrics``).
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON, flat
+  metric dumps (JSON/CSV), and text timeline summaries.
+
+Enable via ``ClusterParams(trace=True)``, ``run_program(..., trace=True)``,
+or the ``repro trace`` CLI subcommand; the trace schema is documented in
+``docs/TRACE_FORMAT.md``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_rows,
+    timeline_summary,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_rows",
+    "write_metrics_json",
+    "write_metrics_csv",
+    "timeline_summary",
+]

@@ -1,0 +1,206 @@
+"""Exporters: Chrome/Perfetto trace JSON, metric dumps, text timelines.
+
+Three renderings of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the ``trace_event``
+  JSON format that https://ui.perfetto.dev and ``chrome://tracing`` load
+  directly.  Track groups become processes (MPI ranks, NIC/nodes, mesh
+  channels, V-Bus, DES kernel), individual tracks become named threads,
+  and all timestamps are simulated microseconds.
+* :func:`metrics_rows` + :func:`write_metrics_json` /
+  :func:`write_metrics_csv` — a flat, stable-ordered dump of every metric
+  (callers may merge in cluster-derived rows, e.g.
+  :func:`repro.vbus.stats.cluster_metrics_rows`).
+* :func:`timeline_summary` — a per-track text digest for terminals.
+
+All output is a pure function of the tracer (plus optional extra rows),
+so identical runs produce byte-identical exports — the golden-file test
+in ``tests/test_obs_tracing.py`` relies on this.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import TRACK_GROUPS, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_rows",
+    "write_metrics_json",
+    "write_metrics_csv",
+    "timeline_summary",
+]
+
+#: trace_event "process" per track group, in display order.
+_GROUP_PIDS = {g: i + 1 for i, g in enumerate(TRACK_GROUPS)}
+_GROUP_LABELS = {
+    "rank": "MPI ranks",
+    "node": "nodes (NIC)",
+    "chan": "mesh channels",
+    "vbus": "V-Bus",
+    "kernel": "DES kernel",
+}
+
+#: CSV column order for metric rows.
+_METRIC_FIELDS = ("name", "type", "unit", "value", "count", "min", "max", "mean")
+
+
+def _track_ids(tracer: Tracer) -> Dict[tuple, tuple]:
+    """Map each track to its (pid, tid, label)."""
+    out: Dict[tuple, tuple] = {}
+    per_group: Dict[str, int] = {}
+    for track in tracer.tracks():
+        group, key = track
+        pid = _GROUP_PIDS.get(group, len(_GROUP_PIDS) + 1)
+        if isinstance(key, int):
+            tid = key
+        else:
+            tid = per_group.get(group, 0)
+            per_group[group] = tid + 1
+        if group in ("rank", "node"):
+            label = f"{group} {key}"
+        elif group == "chan":
+            label = f"ch {key}"
+        else:
+            label = str(group)
+        out[track] = (pid, tid, label)
+    return out
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Render the tracer as a Chrome ``trace_event`` JSON object."""
+    ids = _track_ids(tracer)
+    events: List[dict] = []
+    for pid in sorted({pid for pid, _, _ in ids.values()}):
+        group = next(g for g, p in _GROUP_PIDS.items() if p == pid)
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _GROUP_LABELS.get(group, group)},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    for track, (pid, tid, label) in ids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+
+    body: List[dict] = []
+    for track, name, t0, dur, args in tracer.spans:
+        pid, tid, _ = ids[track]
+        ev = {
+            "ph": "X",
+            "name": name,
+            "cat": track[0],
+            "pid": pid,
+            "tid": tid,
+            "ts": t0 * 1e6,
+            "dur": dur * 1e6,
+        }
+        if args:
+            ev["args"] = args
+        body.append(ev)
+    for track, name, t, args in tracer.instants:
+        pid, tid, _ = ids[track]
+        ev = {
+            "ph": "i",
+            "s": "t",
+            "name": name,
+            "cat": track[0],
+            "pid": pid,
+            "tid": tid,
+            "ts": t * 1e6,
+        }
+        if args:
+            ev["args"] = args
+        body.append(ev)
+    body.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["name"]))
+    events.extend(body)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def metrics_rows(
+    tracer: Tracer, extra_rows: Optional[List[dict]] = None
+) -> List[dict]:
+    """Tracer metrics plus any caller-supplied rows, name-sorted."""
+    rows = tracer.metrics.rows()
+    if extra_rows:
+        rows = rows + [dict(r) for r in extra_rows]
+    rows.sort(key=lambda r: r["name"])
+    return rows
+
+
+def write_metrics_json(rows: List[dict], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump({"metrics": rows}, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def write_metrics_csv(rows: List[dict], path: str) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_METRIC_FIELDS, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def timeline_summary(tracer: Tracer, top: int = 3) -> str:
+    """Per-track digest: busy time and the heaviest span names."""
+    lines = []
+    tmax = 0.0
+    for _track, _name, t0, dur, _args in tracer.spans:
+        tmax = max(tmax, t0 + dur)
+    lines.append(
+        f"trace: {len(tracer.spans)} span(s), {len(tracer.instants)} "
+        f"instant(s) on {len(tracer.tracks())} track(s) over "
+        f"{tmax * 1e3:.3f} ms"
+    )
+    ids = _track_ids(tracer)
+    for track in tracer.tracks():
+        spans = tracer.spans_on(track)
+        if not spans:
+            continue
+        by_name: Dict[str, list] = {}
+        busy = 0.0
+        for _t, name, _t0, dur, _a in spans:
+            cell = by_name.setdefault(name, [0, 0.0])
+            cell[0] += 1
+            cell[1] += dur
+            busy += dur
+        hot = sorted(by_name.items(), key=lambda kv: -kv[1][1])[:top]
+        hot_txt = ", ".join(
+            f"{name} (x{n}, {s * 1e3:.3f} ms)" for name, (n, s) in hot
+        )
+        label = ids[track][2]
+        lines.append(
+            f"  {label:>10s}: {busy * 1e3:9.3f} ms busy in "
+            f"{len(spans)} span(s); top: {hot_txt}"
+        )
+    return "\n".join(lines)

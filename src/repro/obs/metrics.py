@@ -1,0 +1,159 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Every instrumented layer (DES kernel, mesh channels, NIC engines, V-Bus
+controller, MPI-2 calls, the interpreter) emits into one
+:class:`MetricsRegistry` owned by the run's
+:class:`~repro.obs.tracer.Tracer`.  Metric *names* are dotted paths
+(``nic.dma_bytes``); per-instance series carry a ``{key}`` label suffix
+(``channel.busy_s{0->1}``) so flat dumps stay greppable.  The canonical
+name/unit catalogue is documented in ``docs/TRACE_FORMAT.md``.
+
+All three metric kinds are plain accumulating objects — no locking, no
+background threads — because the simulation is single-threaded and
+metrics must never perturb it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total (messages, bytes, waits...)."""
+
+    __slots__ = ("name", "unit", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "unit": self.unit,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A last-write-wins level (queue depth, in-flight legs...)."""
+
+    __slots__ = ("name", "unit", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "unit": self.unit,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A streaming summary (count/sum/min/max/mean) of observed samples.
+
+    Full sample retention would make long runs trace-bound, so only the
+    moments survive — enough for the "where does time go" questions the
+    text summary and metric dumps answer.
+    """
+
+    __slots__ = ("name", "unit", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "unit": self.unit,
+            "value": self.total,
+            "count": self.count,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics; instruments create-on-first-use."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        m = self._metrics.get(name)
+        if m is None:
+            m = Counter(name, unit)
+            self._metrics[name] = m
+        return m
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        m = self._metrics.get(name)
+        if m is None:
+            m = Gauge(name, unit)
+            self._metrics[name] = m
+        return m
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        m = self._metrics.get(name)
+        if m is None:
+            m = Histogram(name, unit)
+            self._metrics[name] = m
+        return m
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All metrics as flat dict rows, sorted by name (stable dumps)."""
+        return [self._metrics[k].row() for k in sorted(self._metrics)]

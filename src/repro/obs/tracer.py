@@ -1,0 +1,118 @@
+"""The span/event tracer: a structured timeline of one simulated run.
+
+One :class:`Tracer` is attached to a :class:`~repro.sim.kernel.Simulator`
+(``sim.tracer``); every instrumented layer consults that attribute through
+the guard idiom::
+
+    tr = self.sim.tracer
+    if tr is not None:
+        tr.span(("rank", self.rank), "MPI_Send", t0, args={...})
+
+With tracing off (the default) ``sim.tracer`` is ``None`` and each hook
+costs a single attribute load plus an ``is None`` test — the hooks are
+read-only observers either way, so enabling tracing cannot change
+simulated times, receipts, or hardware counters (asserted bit-for-bit by
+``tests/test_obs_tracing.py``).
+
+Events live on *tracks*, identified by ``(group, key)`` tuples:
+
+===========  =========================  =====================================
+group        key                        what runs there
+===========  =========================  =====================================
+``rank``     rank number                MPI-2 calls, compute bursts, regions
+``node``     node number                NIC activity (DMA, PIO, wire legs)
+``chan``     ``"u->v"``                 mesh channel occupancy spans
+``vbus``     ``0``                      freezes and hardware broadcasts
+``kernel``   ``0``                      DES kernel instants (rarely used)
+===========  =========================  =====================================
+
+Spans are stored as compact tuples ``(track, name, t0, dur, args)`` in
+simulated seconds; exporters (:mod:`repro.obs.export`) turn them into
+Chrome/Perfetto ``trace_event`` JSON, flat metric dumps, and text
+timelines.  The schema contract is documented in ``docs/TRACE_FORMAT.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Tracer", "TRACK_GROUPS"]
+
+#: Track groups in canonical display order (drives exporter pids).
+TRACK_GROUPS = ("rank", "node", "chan", "vbus", "kernel")
+
+Track = Tuple[str, object]
+
+
+class Tracer:
+    """Collects spans, instants, and metrics for one simulation."""
+
+    __slots__ = ("sim", "spans", "instants", "metrics")
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: Completed spans: (track, name, t0, dur, args-or-None).
+        self.spans: List[tuple] = []
+        #: Point events: (track, name, t, args-or-None).
+        self.instants: List[tuple] = []
+        self.metrics = MetricsRegistry()
+
+    @property
+    def kernel_events(self) -> int:
+        """DES events the kernel has processed so far.
+
+        Derived from the kernel's own scheduling counters (events scheduled
+        minus events still queued), so the event loop pays nothing for it —
+        there is no per-step hook.
+        """
+        return self.sim._seq - len(self.sim._queue)
+
+    # -- timeline -----------------------------------------------------------
+    def span(
+        self,
+        track: Track,
+        name: str,
+        t0: float,
+        t1: Optional[float] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a completed span ``[t0, t1]`` (``t1=None`` → now)."""
+        if t1 is None:
+            t1 = self.sim.now
+        self.spans.append((track, name, t0, t1 - t0, args))
+
+    def instant(self, track: Track, name: str, args: Optional[dict] = None) -> None:
+        """Record a point event at the current simulated time."""
+        self.instants.append((track, name, self.sim.now, args))
+
+    # -- metrics shortcuts ---------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, unit: str = "") -> None:
+        self.metrics.counter(name, unit).inc(amount)
+
+    def observe(self, name: str, value: float, unit: str = "") -> None:
+        self.metrics.histogram(name, unit).observe(value)
+
+    def gauge(self, name: str, value: float, unit: str = "") -> None:
+        self.metrics.gauge(name, unit).set(value)
+
+    # -- introspection -------------------------------------------------------
+    def tracks(self) -> List[Track]:
+        """All tracks that received events, in canonical display order."""
+        seen: Dict[Track, None] = {}
+        for track, *_ in self.spans:
+            seen.setdefault(track, None)
+        for track, *_ in self.instants:
+            seen.setdefault(track, None)
+        order = {g: i for i, g in enumerate(TRACK_GROUPS)}
+        return sorted(seen, key=lambda t: (order.get(t[0], 99), str(t[1])))
+
+    def spans_on(self, track: Track) -> List[tuple]:
+        return [s for s in self.spans if s[0] == track]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer {len(self.spans)} span(s), {len(self.instants)} "
+            f"instant(s), {len(self.metrics)} metric(s)>"
+        )

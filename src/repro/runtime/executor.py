@@ -18,6 +18,7 @@ without numeric work (timing mode for the large benchmark sizes).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.runtime.memory import RankMemory
 from repro.runtime.program import SpmdProgram
 from repro.runtime.report import RunReport
 from repro.vbus import build_cluster
-from repro.vbus.params import ClusterParams
+from repro.vbus.params import VBUS_SKWP, ClusterParams
 
 __all__ = ["run_program", "run_sequential", "ExecutionError"]
 
@@ -61,6 +62,8 @@ class _Execution:
         nprocs = program.nprocs
         self.cluster = build_cluster(nprocs, params=cluster_params)
         self.sim = self.cluster.sim
+        #: The attached tracer (None = tracing off).
+        self.tracer = self.cluster.tracer
         self.runtime = Mpi2Runtime(self.cluster)
         self.comms = [self.runtime.comm(r) for r in range(nprocs)]
         self.memories = [
@@ -75,6 +78,7 @@ class _Execution:
                 program.symtab,
                 self.cluster.params.cpu,
                 execute=execute,
+                metrics=self.tracer.metrics if self.tracer else None,
             )
             for r in range(nprocs)
         ]
@@ -108,6 +112,10 @@ class _Execution:
     def _compute(self, rank: int, overhead: float = 0.0):
         seconds = self.interps[rank].take_seconds() * (1.0 + overhead)
         if seconds > 0:
+            if self.tracer is not None:
+                # Duration is known analytically at schedule time.
+                now = self.sim.now
+                self.tracer.span(("rank", rank), "compute", now, now + seconds)
             return self.cluster.hosts[rank].compute_seconds(seconds)
         return self.sim.timeout(0.0)
 
@@ -148,10 +156,18 @@ class _Execution:
                 yield from self._seq_loop(rank, region)
             elif isinstance(region, IfRegion):
                 yield from self._if_region(rank, region)
-            if rank == 0 and not isinstance(region, (SeqLoop, IfRegion)):
-                cell = self.region_profile.setdefault(region.region_id, [0, 0.0])
-                cell[0] += 1
-                cell[1] += self.sim.now - t0
+            if not isinstance(region, (SeqLoop, IfRegion)):
+                if rank == 0:
+                    cell = self.region_profile.setdefault(
+                        region.region_id, [0, 0.0]
+                    )
+                    cell[0] += 1
+                    cell[1] += self.sim.now - t0
+                if self.tracer is not None:
+                    kind = "par" if isinstance(region, ParRegion) else "seq"
+                    self.tracer.span(
+                        ("rank", rank), f"{kind}-region {region.region_id}", t0
+                    )
 
     def _seq_block(self, rank: int, region: SeqBlock):
         if rank == 0:
@@ -317,6 +333,14 @@ class _Execution:
                 rep.contiguous_transfers += w.puts_contig + w.gets_contig
         rep.stdout = list(self.interps[0].prints)
         rep.memory = self.memories[0]
+        if self.tracer is not None:
+            from repro.obs.export import metrics_rows
+            from repro.vbus.stats import cluster_metrics_rows
+
+            rep.trace = self.tracer
+            rep.metrics_rows = metrics_rows(
+                self.tracer, cluster_metrics_rows(self.cluster)
+            )
         rep.region_profile = {
             rid: (visits, elapsed)
             for rid, (visits, elapsed) in sorted(self.region_profile.items())
@@ -329,12 +353,20 @@ def run_program(
     cluster_params: Optional[ClusterParams] = None,
     execute: bool = True,
     init: Optional[Dict[str, np.ndarray]] = None,
+    trace: bool = False,
 ) -> RunReport:
     """Run a compiled SPMD program on a freshly built simulated cluster.
 
     ``execute=False`` skips numeric array work (timing mode); ``init``
-    preloads master arrays (name -> ndarray in the declared shape).
+    preloads master arrays (name -> ndarray in the declared shape);
+    ``trace=True`` attaches a :class:`repro.obs.Tracer` (the report's
+    ``trace`` / ``metrics_rows`` fields) without changing simulated times.
     """
+    if trace:
+        cluster_params = replace(
+            cluster_params if cluster_params is not None else VBUS_SKWP,
+            trace=True,
+        )
     ex = _Execution(program, cluster_params, execute, init)
     for r in range(program.nprocs):
         ex.sim.process(ex.run_rank(r), name=f"rank{r}")

@@ -88,6 +88,7 @@ class Interpreter:
         symtab: SymbolTable,
         cpu: CpuParams,
         execute: bool = True,
+        metrics=None,
     ):
         self.mem = mem
         self.symtab = symtab
@@ -96,6 +97,10 @@ class Interpreter:
         self.cycles = 0.0
         self.prints: List[str] = []
         self._static: Dict[int, float] = {}
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` — counts
+        #: which loop-execution strategy fired (pure accounting; never
+        #: changes evaluation order or results).
+        self.metrics = metrics
 
     # -- cycle accounting ---------------------------------------------------
     def take_seconds(self) -> float:
@@ -335,6 +340,8 @@ class Interpreter:
 
         if not self.execute and self._pure_nest(loop):
             self.cycles += self._analytic_cycles(loop, env, lo, hi, step)
+            if self.metrics is not None:
+                self.metrics.counter("interp.loops_analytic").inc()
             return
 
         if self.execute and len(loop.body) == 1 and isinstance(loop.body[0], F.Assign):
@@ -343,6 +350,8 @@ class Interpreter:
                 self.cycles += niter * (
                     self._w_assign(loop.body[0]) + self.cpu.cycles_loop
                 )
+                if self.metrics is not None:
+                    self.metrics.counter("interp.loops_vectorized").inc()
                 # Fortran: the DO variable holds first-past-the-end after.
                 self.mem.scalars[loop.var] = lo + niter * step
                 return

@@ -45,6 +45,14 @@ class RunReport:
     stdout: List[str] = field(default_factory=list)
     #: Master memory after the run (value mode only).
     memory: Optional[object] = None
+    #: The run's :class:`repro.obs.Tracer` when tracing was enabled
+    #: (``run_program(..., trace=True)`` or ``ClusterParams.trace``);
+    #: ``None`` otherwise.
+    trace: Optional[object] = None
+    #: Merged metric rows (tracer registry + hardware counters +
+    #: per-channel utilization), ready for the obs exporters.  Empty
+    #: unless the run was traced.
+    metrics_rows: List[dict] = field(default_factory=list)
 
     @property
     def comm_max_s(self) -> float:

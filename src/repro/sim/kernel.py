@@ -15,6 +15,39 @@ structures are tuned:
 * internal single-shot timeouts can be *pooled*: the fast path marks them
   ``_poolable`` and the kernel recycles them through a free list instead
   of allocating a fresh object per event.
+
+Fast-path / stepwise equivalence contract
+-----------------------------------------
+
+The batched transfer fast path (:mod:`repro.vbus.fastpath`) is an
+*accounting* optimization layered on this kernel, and the kernel supplies
+the three primitives its bit-identity proof needs:
+
+* :meth:`Simulator.timeout_at` and :meth:`Simulator.pooled_timeout_at`
+  schedule at **absolute** timestamps.  The fast path precomputes an end
+  time with the same sequence of float additions the stepwise timeouts
+  would perform (``t += delay`` per step); scheduling that value directly
+  means no ``now + delay`` re-rounding can perturb the final bits.
+* :meth:`Simulator.cancel` retracts a scheduled event lazily, so a V-Bus
+  freeze can *demote* an analytically charged transfer back to the
+  stepwise oracle without disturbing heap order.
+* :meth:`Simulator.peek` exposes the next live event time, letting the
+  fast path prove "no other process can run inside my head window"
+  before claiming a whole route at once.
+
+Changing tie-breaking (the ``(time, priority, seq)`` heap key), timestamp
+arithmetic, or cancellation semantics invalidates that proof — the
+equivalence suite (``tests/test_fastpath_equivalence.py``) asserts ``==``
+on end times, receipts, and counters, never ``pytest.approx``.
+
+Observability
+-------------
+
+``Simulator.tracer`` (default ``None``) may hold a
+:class:`repro.obs.tracer.Tracer`; instrumented layers consult it with a
+single ``is None`` guard, so tracing off costs one attribute test and
+tracing on only *records* — it never schedules, so simulated results are
+identical either way.
 """
 
 from __future__ import annotations
@@ -354,6 +387,10 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._tpool: List[Timeout] = []
+        #: Optional :class:`repro.obs.tracer.Tracer`; ``None`` = tracing off.
+        #: Instrumented layers guard every hook with ``if tracer is not
+        #: None`` — the tracer observes, it never schedules.
+        self.tracer = None
 
     @property
     def now(self) -> float:

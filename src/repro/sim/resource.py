@@ -1,4 +1,11 @@
-"""Queued resources for the simulation kernel: Resource and Store."""
+"""Queued resources for the simulation kernel: Resource and Store.
+
+Both carry an optional ``obs_name``: when the owning simulator has a
+tracer attached, a request that has to *queue* (contention) increments
+the ``resource.wait.<obs_name>`` counter — the cheapest possible signal
+for "which shared unit is the bottleneck" (DMA engines, window locks,
+the V-Bus arbiter) without per-wait span bookkeeping.
+"""
 
 from __future__ import annotations
 
@@ -18,11 +25,14 @@ class Resource:
     DMA engines, and the shared Ethernet medium.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(
+        self, sim: Simulator, capacity: int = 1, obs_name: Optional[str] = None
+    ):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.obs_name = obs_name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
 
@@ -41,6 +51,9 @@ class Resource:
             self._in_use += 1
             ev.succeed()
         else:
+            tr = self.sim.tracer
+            if tr is not None:
+                tr.count(f"resource.wait.{self.obs_name or 'anonymous'}")
             self._waiters.append(ev)
         return ev
 

@@ -7,17 +7,31 @@ Usage::
                                    [--show fortran|plan|log|avpg ...]
     python -m repro run     PROG.f [--nprocs 4] [--granularity fine]
                                    [--timing] [--arrays A,B]
+    python -m repro trace   PROG.f [--nprocs 4] [--timing] [--out PREFIX]
     python -m repro autotune PROG.f [--nprocs 4] [--metric comm]
+
+``trace`` runs with the observability layer attached and writes
+``PREFIX.trace.json`` (Chrome ``trace_event`` JSON — load it at
+https://ui.perfetto.dev) plus ``PREFIX.metrics.json`` /
+``PREFIX.metrics.csv``; the schema is documented in
+``docs/TRACE_FORMAT.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.compiler.pipeline import compile_file
 from repro.compiler.postpass.granularity import GRAINS
+from repro.obs.export import (
+    timeline_summary,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
 from repro.runtime.executor import run_program, run_sequential
 from repro.tools.autotune import METRICS, choose_granularity
 
@@ -75,6 +89,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare-sequential",
         action="store_true",
         help="also run sequentially and report the speedup",
+    )
+
+    pt = sub.add_parser(
+        "trace", help="run with tracing on and export timeline + metrics"
+    )
+    _add_common(pt)
+    pt.add_argument(
+        "--timing",
+        action="store_true",
+        help="timing mode: skip numeric array work (for large problems)",
+    )
+    pt.add_argument(
+        "--out",
+        default=None,
+        metavar="PREFIX",
+        help="output file prefix (default: the source file's stem)",
+    )
+    pt.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="span names per track in the text timeline",
     )
 
     pa = sub.add_parser("autotune", help="pick the best granularity")
@@ -142,6 +178,32 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    prog = compile_file(
+        args.source,
+        nprocs=args.nprocs,
+        granularity=args.granularity,
+        partition=args.partition,
+    )
+    report = run_program(prog, execute=not args.timing, trace=True)
+    prefix = args.out or os.path.splitext(os.path.basename(args.source))[0]
+    trace_path = f"{prefix}.trace.json"
+    mjson_path = f"{prefix}.metrics.json"
+    mcsv_path = f"{prefix}.metrics.csv"
+    write_chrome_trace(report.trace, trace_path)
+    write_metrics_json(report.metrics_rows, mjson_path)
+    write_metrics_csv(report.metrics_rows, mcsv_path)
+    for line in report.stdout:
+        print(line)
+    print(report.summary())
+    print()
+    print(timeline_summary(report.trace, top=args.top))
+    print()
+    print(f"wrote {trace_path} (open at https://ui.perfetto.dev)")
+    print(f"wrote {mjson_path}, {mcsv_path}")
+    return 0
+
+
 def _cmd_autotune(args) -> int:
     with open(args.source) as fh:
         src = fh.read()
@@ -156,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compile(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_autotune(args)
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
+from repro.obs import Tracer
 from repro.sim import Simulator
 from repro.vbus.ethernet import EthernetNetwork
 from repro.vbus.host import Host
@@ -41,6 +42,10 @@ class Cluster:
     def __init__(self, sim: Simulator, params: ClusterParams):
         self.sim = sim
         self.params = params
+        if params.trace and sim.tracer is None:
+            sim.tracer = Tracer(sim)
+        #: The attached tracer (None = tracing off); all layers share it.
+        self.tracer = sim.tracer
         self.topology = MeshTopology(*params.mesh)
         self.hosts: List[Host] = [
             Host(sim, rank, params.cpu) for rank in range(self.nprocs)
@@ -174,6 +179,8 @@ class Cluster:
         """
         if direction not in ("put", "get"):
             raise ValueError(f"bad RMA direction {direction!r}")
+        tr = self.sim.tracer
+        t0 = self.sim.now if tr is not None else 0.0
         self._check_rank(origin)
         self._check_rank(remote)
         if elements is None:
@@ -258,6 +265,15 @@ class Cluster:
         nic.bytes += nbytes
         nic.cpu_busy_s += cpu_s
         self.hosts[origin].charge_comm_cpu(cpu_s)
+        if tr is not None:
+            # The CPU-occupied initiation phase; the wire/DMA leg shows up
+            # on the channel tracks (and "wire" node spans) as it streams.
+            tr.span(
+                ("node", origin), f"rma-{direction} {origin}->{remote}", t0,
+                args={"bytes": nbytes, "contiguous": contiguous,
+                      "cpu_s": cpu_s},
+            )
+            tr.count(f"rma.{direction}_bytes", nbytes, "B")
         return cpu_s, completion
 
     # -- bookkeeping ---------------------------------------------------------

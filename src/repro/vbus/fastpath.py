@@ -37,6 +37,15 @@ Exactness argument (the equivalence suite in
 Per-channel ``busy_s``/``messages`` counters stay exact because a claim
 backdates each channel's ``_acquired_at`` to the hop time the stepwise
 path would have acquired it at.
+
+The same backdating keeps **traces** exact: when a tracer is attached
+(``sim.tracer``), channel-occupancy spans are emitted from
+:meth:`Channel.release` and the wire-leg span from
+:meth:`_FastLeg._release_channels`, covering the identical simulated
+intervals the stepwise path would record — a trace taken with
+``fast_path=True`` is indistinguishable from the stepwise one.  Tracing
+hooks only *read* simulation state, so they cannot affect the
+equivalence argument above.
 """
 
 from __future__ import annotations
@@ -113,6 +122,17 @@ class _FastLeg:
         mesh.messages += 1
         mesh.bytes += self.nbytes
         mesh.flits += flit_count(self.nbytes, mesh.link.width_bits)
+        tr = self.sim.tracer
+        if tr is not None:
+            # Same span the stepwise unicast records: injection → wire end.
+            src = self.channels[0].u
+            dst = self.channels[-1].v
+            tr.span(
+                ("node", src), f"wire {src}->{dst}", self.hop_starts[0],
+                args={"bytes": self.nbytes, "hops": len(self.channels)},
+            )
+            tr.count("mesh.messages")
+            tr.count("mesh.bytes", self.nbytes, "B")
         if self.at_release is not None:
             self.at_release()
 

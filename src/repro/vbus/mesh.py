@@ -1,4 +1,10 @@
-"""2-D mesh topology and XY (dimension-order) routing."""
+"""2-D mesh topology and XY (dimension-order) routing.
+
+Pure geometry — no simulated time.  The route cache's hit/miss counters
+surface as ``route_cache.hits`` / ``route_cache.misses`` in traced-run
+metric dumps (see :func:`repro.vbus.stats.cluster_metrics_rows` and
+``docs/TRACE_FORMAT.md``).
+"""
 
 from __future__ import annotations
 

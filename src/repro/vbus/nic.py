@@ -56,7 +56,7 @@ class Nic:
         self.rank = rank
         self.params = params
         #: The single DMA engine; concurrent contiguous sends serialize here.
-        self._dma = Resource(sim, capacity=1)
+        self._dma = Resource(sim, capacity=1, obs_name=f"dma.{rank}")
         #: Statistics.
         self.messages = 0
         self.bytes = 0
@@ -153,6 +153,18 @@ class Nic:
         self.messages += 1
         self.bytes += nbytes
         self.cpu_busy_s += cpu_s
+        tr = self.sim.tracer
+        if tr is not None:
+            mode = "dma" if contiguous else "pio"
+            tr.span(
+                ("node", self.rank), f"{mode} send", t0,
+                args={"bytes": nbytes, "elements": elements, "cpu_s": cpu_s},
+            )
+            tr.count("nic.messages")
+            tr.count(f"nic.{mode}_bytes", nbytes, "B")
+            if not contiguous:
+                tr.count("nic.pio_elements", elements)
+            tr.observe("nic.cpu_s", cpu_s, "s")
         return TransferReceipt(
             nbytes=nbytes,
             elements=elements,

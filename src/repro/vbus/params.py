@@ -151,6 +151,11 @@ class ClusterParams:
     #: analytically (O(1) events) instead of stepwise.  Simulated results
     #: are bit-identical (see repro.vbus.fastpath); only wall-clock drops.
     fast_path: bool = False
+    #: Attach a :class:`repro.obs.Tracer` to the simulation: every layer
+    #: (kernel, channels, NICs, V-Bus, MPI-2, runtime) records spans and
+    #: metrics.  Observation only — simulated results are bit-identical
+    #: with tracing on or off (see docs/TRACE_FORMAT.md).
+    trace: bool = False
 
     def __post_init__(self):
         if self.network not in ("vbus", "ethernet"):

@@ -32,7 +32,8 @@ class Channel:
         self.sim = sim
         self.u = u
         self.v = v
-        self._res = Resource(sim, capacity=1)
+        self.name = f"{u}->{v}"
+        self._res = Resource(sim, capacity=1, obs_name=f"chan.{u}->{v}")
         #: Utilization statistics.
         self.busy_s = 0.0
         self.messages = 0
@@ -63,6 +64,11 @@ class Channel:
 
     def release(self) -> None:
         if self._acquired_at is not None:
+            tr = self.sim.tracer
+            if tr is not None:
+                # One occupancy span per held message — identical for the
+                # stepwise and fast paths (both claim and release here).
+                tr.span(("chan", self.name), "held", self._acquired_at)
             self.busy_s += self.sim.now - self._acquired_at
             self._acquired_at = None
         self._res.release()
@@ -141,4 +147,12 @@ class WormholeMesh:
         self.messages += 1
         self.bytes += nbytes
         self.flits += flit_count(nbytes, self.link.width_bits)
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.span(
+                ("node", src), f"wire {src}->{dst}", t0,
+                args={"bytes": nbytes, "hops": len(path)},
+            )
+            tr.count("mesh.messages")
+            tr.count("mesh.bytes", nbytes, "B")
         return self.sim.now - t0

@@ -14,7 +14,12 @@ from typing import List, Optional
 
 from repro.vbus.cluster import Cluster
 
-__all__ = ["ChannelUsage", "network_usage", "usage_report"]
+__all__ = [
+    "ChannelUsage",
+    "network_usage",
+    "usage_report",
+    "cluster_metrics_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -74,3 +79,74 @@ def usage_report(cluster: Cluster, top: Optional[int] = None) -> str:
         f"{int(rc['misses'])} miss(es) ({rc['hit_rate']:.1%} hit rate)"
     )
     return "\n".join(lines)
+
+
+#: Units for the hardware-counter rows emitted by cluster_metrics_rows.
+_HW_UNITS = {
+    "bytes": "B",
+    "mesh_bytes": "B",
+    "ether_bytes": "B",
+    "hw_broadcast_bytes": "B",
+    "nic_cpu_busy_s": "s",
+    "frozen_s": "s",
+}
+
+
+def cluster_metrics_rows(cluster: Cluster) -> List[dict]:
+    """The cluster's hardware state as flat metric rows.
+
+    Complements the tracer's own registry with everything the hardware
+    model already counts: aggregate counters (``hw.*``), per-channel
+    utilization/busy/messages series, and route-cache effectiveness.
+    Shapes match :meth:`repro.obs.metrics.Counter.row` /
+    :meth:`~repro.obs.metrics.Gauge.row`, so the rows merge directly into
+    :func:`repro.obs.export.metrics_rows`.
+    """
+    rows: List[dict] = []
+    for key, value in sorted(cluster.stats().items()):
+        rows.append(
+            {
+                "name": f"hw.{key}",
+                "type": "counter",
+                "unit": _HW_UNITS.get(key, ""),
+                "value": value,
+            }
+        )
+    if cluster.mesh is not None:
+        for c in network_usage(cluster):
+            label = f"{c.src}->{c.dst}"
+            rows.append(
+                {
+                    "name": f"channel.utilization{{{label}}}",
+                    "type": "gauge",
+                    "unit": "fraction",
+                    "value": c.utilization,
+                }
+            )
+            rows.append(
+                {
+                    "name": f"channel.busy_s{{{label}}}",
+                    "type": "counter",
+                    "unit": "s",
+                    "value": c.busy_s,
+                }
+            )
+            rows.append(
+                {
+                    "name": f"channel.messages{{{label}}}",
+                    "type": "counter",
+                    "unit": "",
+                    "value": float(c.messages),
+                }
+            )
+    rc = cluster.topology.route_cache_stats()
+    for key in ("hits", "misses"):
+        rows.append(
+            {
+                "name": f"route_cache.{key}",
+                "type": "counter",
+                "unit": "",
+                "value": float(rc[key]),
+            }
+        )
+    return rows

@@ -66,6 +66,11 @@ class FreezeDomain:
         if not self.frozen:
             raise SimulationError("freeze domain not frozen")
         self.frozen = False
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.span(("vbus", 0), "freeze", self._frozen_since)
+            tr.count("vbus.freezes")
+            tr.observe("vbus.frozen_s", self.sim.now - self._frozen_since, "s")
         self.total_frozen_s += self.sim.now - self._frozen_since
         self._frozen_since = None
         ev, self._thaw_event = self._thaw_event, Event(self.sim)
@@ -118,7 +123,7 @@ class VBusController:
         self.release_s = release_s
         #: Merge the setup/wave/release timeouts into one scheduled event.
         self.fast = fast
-        self._bus = Resource(sim, capacity=1)
+        self._bus = Resource(sim, capacity=1, obs_name="vbus.arbiter")
         #: Statistics.
         self.broadcast_count = 0
         self.broadcast_bytes = 0
@@ -132,6 +137,7 @@ class VBusController:
         """
         if rate_Bps <= 0:
             raise SimulationError("broadcast rate must be positive")
+        t0 = self.sim.now
         yield self._bus.request()
         self.domain.freeze()
         try:
@@ -159,3 +165,9 @@ class VBusController:
         finally:
             self.domain.thaw()
             self._bus.release()
+        tr = self.sim.tracer
+        if tr is not None:
+            # Arbitration wait + bus construction + wave + release.
+            tr.span(("vbus", 0), "broadcast", t0, args={"bytes": nbytes})
+            tr.count("vbus.broadcasts")
+            tr.count("vbus.broadcast_bytes", nbytes, "B")

@@ -1,0 +1,35 @@
+"""Regenerate the observability exporter golden files.
+
+Run after an *intentional* schema change (new span/metric names, new
+export fields) and commit the result:
+
+    PYTHONPATH=src python tests/make_obs_goldens.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.obs.export import (  # noqa: E402
+    metrics_rows,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.vbus.stats import cluster_metrics_rows  # noqa: E402
+from test_obs_tracing import GOLDEN_DIR, _golden_tracer  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    cluster = _golden_tracer()
+    write_chrome_trace(cluster.tracer, str(GOLDEN_DIR / "obs_trace.json"))
+    rows = metrics_rows(cluster.tracer, cluster_metrics_rows(cluster))
+    write_metrics_json(rows, str(GOLDEN_DIR / "obs_metrics.json"))
+    write_metrics_csv(rows, str(GOLDEN_DIR / "obs_metrics.csv"))
+    print(f"wrote goldens under {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    main()

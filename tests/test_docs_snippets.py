@@ -1,0 +1,118 @@
+"""Documentation snippets must actually run.
+
+Extracts every fenced ``python`` block from README.md and ``docs/`` and
+executes it in a clean subprocess, and runs the ``bash`` blocks'
+``python -m repro ...`` command lines.  Docs that drift from the code
+fail here, not in a reader's terminal.  ``tools/check_docs.sh`` runs
+this module standalone; it also rides along in the normal suite.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+DOC_FILES = (
+    ROOT / "README.md",
+    ROOT / "docs" / "TRACE_FORMAT.md",
+    ROOT / "docs" / "ARCHITECTURE.md",
+)
+
+#: Snippets matching any of these substrings get the ``slow`` marker.
+_SLOW_HINTS = ("source(256)",)
+
+#: bash lines that are environment setup, not runnable examples.
+_SKIP_PREFIXES = ("pip ", "pytest ", "#")
+
+
+def _fenced_blocks(path: Path, lang: str):
+    pattern = rf"^```{lang}\n(.*?)^```"
+    return re.findall(pattern, path.read_text(), re.S | re.M)
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _python_cases():
+    for path in DOC_FILES:
+        if not path.exists():
+            continue
+        for i, block in enumerate(_fenced_blocks(path, "python")):
+            marks = (
+                [pytest.mark.slow]
+                if any(h in block for h in _SLOW_HINTS)
+                else []
+            )
+            yield pytest.param(
+                block, id=f"{path.name}-python-{i}", marks=marks
+            )
+
+
+def _bash_cases():
+    for path in DOC_FILES:
+        if not path.exists():
+            continue
+        for i, block in enumerate(_fenced_blocks(path, "bash")):
+            for j, raw in enumerate(block.splitlines()):
+                line = raw.strip()
+                if not line or line.startswith(_SKIP_PREFIXES):
+                    continue
+                if "python -m repro" not in line:
+                    continue
+                # The PYTHONPATH prefix is supplied by the test env.
+                line = re.sub(r"^PYTHONPATH=\S+\s+", "", line)
+                # Source paths are repo-relative; runs happen in a tmp dir.
+                line = line.replace(
+                    "examples/", str(ROOT / "examples") + "/"
+                )
+                yield pytest.param(line, id=f"{path.name}-bash-{i}.{j}")
+
+
+@pytest.mark.parametrize("block", _python_cases())
+def test_python_snippet_runs(block, tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-c", block],
+        cwd=tmp_path,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"snippet failed:\n{block}\n--- stderr ---\n{proc.stderr}"
+    )
+
+
+@pytest.mark.parametrize("command", _bash_cases())
+def test_cli_example_runs(command, tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m"] + command.split()[2:],
+        cwd=tmp_path,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"CLI example failed: {command}\n--- stderr ---\n{proc.stderr}"
+    )
+
+
+def test_readme_links_resolve():
+    """Every relative markdown link in README/docs points at a real file."""
+    for path in DOC_FILES:
+        base = path.parent
+        for target in re.findall(r"\]\(([^)#]+)(?:#[^)]*)?\)", path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            assert (base / target).exists(), f"{path.name} links to {target}"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Validate that README/docs code snippets and CLI examples actually run.
+#
+# Usage: tools/check_docs.sh [pytest args...]
+#   e.g. tools/check_docs.sh -m "not slow"   # skip the MM-256 quickstart
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+python -m pytest -q tests/test_docs_snippets.py "$@"

@@ -16,6 +16,10 @@ echo "== slow whole-program equivalence tests =="
 python -m pytest -x -q -m slow
 
 echo
+echo "== docs snippet check (README/docs examples must run) =="
+tools/check_docs.sh -m "not slow"
+
+echo
 echo "== wall-clock benchmark =="
 python benchmarks/bench_wallclock.py "$@"
 
