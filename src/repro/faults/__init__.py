@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the simulated cluster.
+
+``repro.faults`` is a cross-cutting subsystem: a frozen, seeded
+:class:`FaultPlan` (carried on ``ClusterParams.faults``) describes what
+goes wrong — flit drops/corruption, link delays, channel stalls, node
+kills — and a per-run :class:`FaultInjector` replays those faults
+deterministically and models the link-level retransmission that recovers
+from them.  See ``docs/FAULTS.md`` for the fault model and plan schema.
+"""
+
+from repro.faults.plan import FaultPlan, FaultSpec, RetxParams
+
+__all__ = ["FaultPlan", "FaultSpec", "RetxParams", "FaultInjector"]
+
+# The injector pulls in repro.mpi2 (typed errors), which pulls in
+# repro.vbus — which imports repro.faults.plan for ClusterParams.faults.
+# Resolving FaultInjector lazily (PEP 562) keeps that cycle open.
+_LAZY = {"FaultInjector": ("repro.faults.injector", "FaultInjector")}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

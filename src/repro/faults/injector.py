@@ -1,0 +1,327 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan` into
+deterministic simulated faults and their recovery.
+
+One :class:`FaultInjector` is built per :class:`~repro.vbus.cluster.Cluster`
+when ``ClusterParams.faults`` is set, and wired into the layers that model
+the wire:
+
+* ``WormholeMesh.unicast`` / ``EthernetNetwork`` wire legs call
+  :meth:`wire_deliver` after charging the clean transfer time; the injector
+  decides — from the plan seed alone — how many flits were dropped or
+  corrupted and charges the selective-repeat retransmission rounds needed
+  to recover (or raises ``MpiLinkError`` when ``max_rounds`` is exceeded).
+* ``VBusController.broadcast`` does the same for the broadcast wave.
+* ``Nic.transfer`` calls :meth:`on_inject` so ``after_sends`` kills and
+  dead-node checks happen at message injection time.
+* The executor calls :meth:`start` (timed kills, watchdog bookkeeping) and
+  :meth:`register_rank_process` so a kill can terminate the victim's rank.
+
+Determinism contract
+--------------------
+
+Every random draw comes from a ``numpy.random.RandomState`` keyed by
+``(plan.seed, src, dst, per-pair message ordinal)`` — *not* by simulated
+time or event order.  Two runs of the same program with the same plan make
+identical draws message for message, even when the fast path (which is
+demoted under an active plan anyway) or scheduler interleaving would visit
+messages in a different global order.  ``tests/test_faults_determinism.py``
+pins this byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, MAX_FLIT_RATE
+from repro.mpi2.exceptions import MpiLinkError, MpiNodeDeadError
+
+__all__ = ["FaultInjector"]
+
+#: Track every fault/retransmission event renders on.
+FAULT_TRACK = ("fault", 0)
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _mix32(*parts: int) -> int:
+    """Deterministically mix integers into a 32-bit RandomState seed.
+
+    A splitmix64-style round per part; stable across platforms and runs
+    (unlike ``hash()``, which is salted per process).
+    """
+    acc = 0x9E3779B97F4A7C15
+    for p in parts:
+        acc ^= (p & 0xFFFFFFFFFFFFFFFF) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        acc = (acc ^ (acc >> 31)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return (acc ^ (acc >> 32)) & _MASK32
+
+
+class FaultInjector:
+    """Deterministic fault generation + link-level recovery for one run."""
+
+    def __init__(self, sim, plan: FaultPlan, nprocs: int):
+        self.sim = sim
+        self.plan = plan
+        self.nprocs = nprocs
+        self.retx = plan.retx
+
+        self.wire_specs = [
+            s for s in plan.specs if s.kind in ("drop", "corrupt", "delay")
+        ]
+        self.stall_specs = [s for s in plan.specs if s.kind == "stall"]
+        self.kill_specs = [s for s in plan.specs if s.kind == "kill"]
+
+        #: Ranks whose node has died.
+        self.dead: set = set()
+        #: rank -> messages injected by its NIC (drives after_sends kills).
+        self.sends: Dict[int, int] = {}
+        #: (src, dst) -> message ordinal on that pair (drives RNG keys).
+        self._ordinals: Dict[Tuple[int, object], int] = {}
+        #: rank -> rank Process (registered by the executor for kills).
+        self._rank_procs: Dict[int, object] = {}
+
+        # Fault statistics, surfaced through stats() into RunReport.
+        self.dropped_flits = 0
+        self.corrupt_flits = 0
+        self.silent_corruptions = 0
+        self.delays = 0
+        self.delay_s = 0.0
+        self.stalls = 0
+        self.stall_s = 0.0
+        self.retx_rounds = 0
+        self.retx_flits = 0
+        self.retx_timeouts = 0
+        self.link_failures = 0
+        self.kills = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when the plan injects anything at all."""
+        return self.plan.active
+
+    def start(self) -> None:
+        """Schedule timed node kills.  Called once by the executor."""
+        for spec in self.kill_specs:
+            if spec.at_s is not None:
+                self.sim.process(self._timed_kill(spec.node, spec.at_s))
+
+    def _timed_kill(self, node: int, at_s: float):
+        yield self.sim.timeout(at_s - self.sim.now)
+        self.kill_node(node)
+
+    def register_rank_process(self, rank: int, proc) -> None:
+        self._rank_procs[rank] = proc
+
+    # -- node death ----------------------------------------------------------
+    def kill_node(self, node: int, _self_inflicted: bool = False) -> None:
+        """Mark ``node`` dead and terminate its rank process.
+
+        With ``_self_inflicted`` the victim's own generator is currently
+        executing (an ``after_sends`` kill detected inside its NIC call),
+        so it cannot be closed from within — the caller raises
+        ``MpiNodeDeadError`` through it instead.
+        """
+        if node in self.dead:
+            return
+        self.dead.add(node)
+        self.kills += 1
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.instant(FAULT_TRACK, f"kill node {node}", args={"node": node})
+            tr.count("faults.kills")
+        if not _self_inflicted:
+            proc = self._rank_procs.get(node)
+            if proc is not None:
+                proc.kill(MpiNodeDeadError(f"node {node} killed by fault plan"))
+
+    def check_alive(self, *ranks: Optional[int]) -> None:
+        """Raise ``MpiNodeDeadError`` if any given rank's node is dead."""
+        if not self.dead:
+            return
+        for r in ranks:
+            if r in self.dead:
+                raise MpiNodeDeadError(f"node {r} is dead")
+
+    def on_inject(self, rank: int) -> None:
+        """NIC message-injection hook: dead check + ``after_sends`` kills."""
+        self.check_alive(rank)
+        n = self.sends.get(rank, 0) + 1
+        self.sends[rank] = n
+        for spec in self.kill_specs:
+            if spec.node == rank and spec.after_sends is not None:
+                if n > spec.after_sends and rank not in self.dead:
+                    self.kill_node(rank, _self_inflicted=True)
+                    raise MpiNodeDeadError(
+                        f"node {rank} died after {spec.after_sends} send(s)"
+                    )
+
+    # -- channel stalls -------------------------------------------------------
+    def stall_extra(self, u: int, v: int) -> float:
+        """Seconds a head flit must wait at channel ``u -> v`` right now."""
+        now = self.sim.now
+        wait = 0.0
+        for spec in self.stall_specs:
+            if spec.channel is not None and spec.channel != (u, v):
+                continue
+            if spec.channel is None and spec.node != u:
+                continue
+            if spec.t0 <= now < spec.t1:
+                wait = max(wait, spec.t1 - now)
+        return wait
+
+    def note_stall(self, seconds: float, u: int, v: int, t0: float) -> None:
+        """Record a stall that was actually waited out (tracing + stats)."""
+        self.stalls += 1
+        self.stall_s += seconds
+        tr = self.sim.tracer
+        if tr is not None:
+            tr.span(FAULT_TRACK, f"stall {u}->{v}", t0, args={"chan": f"{u}->{v}"})
+            tr.count("faults.stalls")
+            tr.observe("faults.stall_s", seconds, unit="s")
+
+    # -- the wire: drop / corrupt / delay + retransmission --------------------
+    def wire_deliver(
+        self,
+        src: int,
+        dst: Optional[int],
+        nunits: int,
+        unit_s: float,
+        wait=None,
+    ):
+        """Generator charging fault + recovery time for one wire leg.
+
+        Call *after* the clean transfer time has been charged, while still
+        holding whatever medium the leg occupies (wormhole path, Ethernet
+        medium, broadcast bus) — retransmissions reuse the claimed path.
+
+        ``nunits`` is the leg's flit (or frame) count and ``unit_s`` the
+        wire time of one unit; ``wait`` is the delay primitive to charge
+        time with (e.g. ``FreezeDomain.interruptible_delay``), defaulting
+        to a plain kernel timeout.
+        """
+        if wait is None:
+            wait = self._plain_wait
+        now = self.sim.now
+        specs = [s for s in self.wire_specs if s.matches(src, dst, now)]
+        if not specs:
+            return
+
+        rng = self._rng_for(src, dst)
+
+        # Fixed draw order: delay specs first, then per-round loss draws.
+        extra = 0.0
+        for spec in specs:
+            if spec.kind == "delay" and rng.random_sample() < spec.rate:
+                extra += spec.delay_s
+                self.delays += 1
+                self.delay_s += spec.delay_s
+        drop_p = min(sum(s.rate for s in specs if s.kind == "drop"), MAX_FLIT_RATE)
+        corr_p = min(sum(s.rate for s in specs if s.kind == "corrupt"), MAX_FLIT_RATE)
+
+        tr = self.sim.tracer
+        if extra > 0.0:
+            if tr is not None:
+                tr.count("faults.delays")
+                tr.observe("faults.delay_s", extra, unit="s")
+            yield from wait(extra)
+
+        if drop_p == 0.0 and corr_p == 0.0:
+            return
+
+        t0 = self.sim.now
+        sent = nunits
+        rounds = 0
+        total_resent = 0
+        while True:
+            ndrop = int(rng.binomial(sent, drop_p)) if drop_p > 0.0 else 0
+            ncorr = (
+                int(rng.binomial(sent - ndrop, corr_p)) if corr_p > 0.0 else 0
+            )
+            if ncorr and not self.retx.crc_check:
+                # No CRC: corrupted flits are accepted as-is.  Counted so a
+                # chaos run can still prove corruption never goes unnoticed
+                # by the harness, but the link does not retry them.
+                self.silent_corruptions += ncorr
+                if tr is not None:
+                    tr.count("faults.silent_corruptions", ncorr)
+                ncorr = 0
+            bad = ndrop + ncorr
+            if bad == 0:
+                break
+            self.dropped_flits += ndrop
+            self.corrupt_flits += ncorr
+            rounds += 1
+            if rounds > self.retx.max_rounds:
+                self.link_failures += 1
+                if tr is not None:
+                    tr.count("faults.link_failures")
+                    tr.instant(
+                        FAULT_TRACK,
+                        f"link failure {src}->{dst}",
+                        args={"src": src, "dst": dst, "rounds": rounds - 1},
+                    )
+                raise MpiLinkError(
+                    f"link {src}->{dst}: retransmission gave up after "
+                    f"{self.retx.max_rounds} round(s)"
+                )
+            if bad < sent:
+                # Part of the round arrived: the receiver's gap/CRC NACK
+                # triggers a selective resend of just the bad flits.
+                overhead = self.retx.nack_s
+            else:
+                # The whole round vanished: only the sender timeout (with
+                # exponential backoff across consecutive silent rounds)
+                # gets the link moving again.
+                overhead = self.retx.timeout_s * self.retx.backoff ** (rounds - 1)
+                self.retx_timeouts += 1
+                if tr is not None:
+                    tr.count("faults.retx_timeouts")
+            total_resent += bad
+            self.retx_rounds += 1
+            self.retx_flits += bad
+            self.check_alive(src, dst)
+            yield from wait(overhead + bad * unit_s)
+            sent = bad
+
+        if rounds and tr is not None:
+            dlabel = "*" if dst is None else dst
+            tr.span(
+                FAULT_TRACK,
+                f"retx {src}->{dlabel}",
+                t0,
+                args={"rounds": rounds, "flits": total_resent},
+            )
+            tr.count("faults.retx_rounds", rounds)
+            tr.count("faults.retx_flits", total_resent)
+
+    def _plain_wait(self, seconds: float):
+        yield self.sim.timeout(seconds)
+
+    def _rng_for(self, src: int, dst: Optional[int]) -> np.random.RandomState:
+        key = (src, dst)
+        ordinal = self._ordinals.get(key, 0)
+        self._ordinals[key] = ordinal + 1
+        dkey = -1 if dst is None else dst
+        return np.random.RandomState(_mix32(self.plan.seed, src, dkey, ordinal))
+
+    # -- reporting ------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Fault statistics merged into ``Cluster.stats()`` / ``RunReport``."""
+        return {
+            "fault_dropped_flits": self.dropped_flits,
+            "fault_corrupt_flits": self.corrupt_flits,
+            "fault_silent_corruptions": self.silent_corruptions,
+            "fault_delays": self.delays,
+            "fault_delay_s": self.delay_s,
+            "fault_stalls": self.stalls,
+            "fault_stall_s": self.stall_s,
+            "fault_retx_rounds": self.retx_rounds,
+            "fault_retx_flits": self.retx_flits,
+            "fault_retx_timeouts": self.retx_timeouts,
+            "fault_link_failures": self.link_failures,
+            "fault_kills": self.kills,
+        }

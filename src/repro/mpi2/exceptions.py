@@ -1,6 +1,28 @@
-"""MPI error type."""
+"""MPI error types.
+
+:class:`MpiError` covers API misuse; the :class:`MpiFaultError` family
+covers injected-fault outcomes (see :mod:`repro.faults`): an MPI call
+either completes with correct data or raises one of these — never
+silently corrupts a result, never hangs the scheduler.
+"""
 
 
 class MpiError(RuntimeError):
     """Raised for misuse of the MPI-2 API (bad ranks, mismatched collectives,
     operations outside an access epoch, ...)."""
+
+
+class MpiFaultError(MpiError):
+    """Base for errors caused by an injected fault rather than API misuse."""
+
+
+class MpiLinkError(MpiFaultError):
+    """A wire leg exhausted its retransmission budget (``RetxParams.max_rounds``)."""
+
+
+class MpiNodeDeadError(MpiFaultError):
+    """An operation touched a node killed by the fault plan."""
+
+
+class MpiWatchdogError(MpiFaultError):
+    """The run exceeded the fault plan's ``max_sim_s`` watchdog bound."""

@@ -326,6 +326,13 @@ class Win:
 
         The executor drains every window, then issues one shared barrier —
         semantically a multi-window fence at a fraction of the cost.
+
+        Under an active fault plan this is also where retransmit queues
+        flush: a leg's completion event only succeeds once its
+        retransmission rounds are done, and it *fails* with a typed
+        :class:`~repro.mpi2.exceptions.MpiFaultError` when recovery was
+        impossible — the AllOf below propagates that failure out of the
+        fence, so no epoch ever closes over an undelivered transfer.
         """
         sim = self._comm.sim
         t0 = sim.now

@@ -43,6 +43,7 @@ _GROUP_LABELS = {
     "chan": "mesh channels",
     "vbus": "V-Bus",
     "kernel": "DES kernel",
+    "fault": "faults",
 }
 
 #: CSV column order for metric rows.

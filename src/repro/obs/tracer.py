@@ -24,6 +24,7 @@ group        key                        what runs there
 ``chan``     ``"u->v"``                 mesh channel occupancy spans
 ``vbus``     ``0``                      freezes and hardware broadcasts
 ``kernel``   ``0``                      DES kernel instants (rarely used)
+``fault``    ``0``                      injected faults, retransmission spans
 ===========  =========================  =====================================
 
 Spans are stored as compact tuples ``(track, name, t0, dur, args)`` in
@@ -41,7 +42,8 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = ["Tracer", "TRACK_GROUPS"]
 
 #: Track groups in canonical display order (drives exporter pids).
-TRACK_GROUPS = ("rank", "node", "chan", "vbus", "kernel")
+#: "fault" is appended last so pre-fault golden traces keep their pids.
+TRACK_GROUPS = ("rank", "node", "chan", "vbus", "kernel", "fault")
 
 Track = Tuple[str, object]
 

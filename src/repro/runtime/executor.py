@@ -333,6 +333,8 @@ class _Execution:
                 rep.contiguous_transfers += w.puts_contig + w.gets_contig
         rep.stdout = list(self.interps[0].prints)
         rep.memory = self.memories[0]
+        if self.cluster.injector is not None:
+            rep.fault_stats = self.cluster.injector.stats()
         if self.tracer is not None:
             from repro.obs.export import metrics_rows
             from repro.vbus.stats import cluster_metrics_rows
@@ -354,6 +356,7 @@ def run_program(
     execute: bool = True,
     init: Optional[Dict[str, np.ndarray]] = None,
     trace: bool = False,
+    faults=None,
 ) -> RunReport:
     """Run a compiled SPMD program on a freshly built simulated cluster.
 
@@ -361,16 +364,62 @@ def run_program(
     preloads master arrays (name -> ndarray in the declared shape);
     ``trace=True`` attaches a :class:`repro.obs.Tracer` (the report's
     ``trace`` / ``metrics_rows`` fields) without changing simulated times.
+    ``faults`` (a :class:`repro.faults.FaultPlan`) injects deterministic
+    faults; the run either recovers via link-level retransmission (the
+    report's ``fault_stats`` shows the recovery work) or raises a typed
+    :class:`~repro.mpi2.exceptions.MpiFaultError` — never a hang, never a
+    silently corrupted result (see docs/FAULTS.md).
     """
-    if trace:
+    if trace or faults is not None:
         cluster_params = replace(
             cluster_params if cluster_params is not None else VBUS_SKWP,
-            trace=True,
+            **{
+                k: v
+                for k, v in (("trace", trace or None), ("faults", faults))
+                if v is not None
+            },
         )
     ex = _Execution(program, cluster_params, execute, init)
-    for r in range(program.nprocs):
+    procs = [
         ex.sim.process(ex.run_rank(r), name=f"rank{r}")
-    ex.sim.run()
+        for r in range(program.nprocs)
+    ]
+    injector = ex.cluster.injector
+    if injector is None:
+        ex.sim.run()
+        return ex.report()
+
+    from repro.mpi2.exceptions import MpiNodeDeadError, MpiWatchdogError
+    from repro.sim import AllOf, AnyOf, SimulationError
+
+    for r, proc in enumerate(procs):
+        injector.register_rank_process(r, proc)
+    injector.start()
+
+    # Run until every rank finishes — or a fault ends the run first.  A
+    # node kill fails its rank's process event, which fails ``done``
+    # immediately; ``max_sim_s`` bounds the run in simulated time so even
+    # an unforeseen hang surfaces as a typed error, not a stuck scheduler.
+    done = AllOf(ex.sim, procs)
+    plan = injector.plan
+    watch = (
+        ex.sim.timeout(plan.max_sim_s) if plan.max_sim_s is not None else None
+    )
+    target = AnyOf(ex.sim, [done, watch]) if watch is not None else done
+    try:
+        ex.sim.run(until=target)
+    except SimulationError:
+        if injector.dead:
+            raise MpiNodeDeadError(
+                f"run deadlocked with dead node(s) {sorted(injector.dead)}"
+            ) from None
+        raise
+    if watch is not None and not done.triggered:
+        raise MpiWatchdogError(
+            f"run exceeded the fault plan watchdog ({plan.max_sim_s} s); "
+            f"unfinished rank(s): "
+            f"{[r for r, p in enumerate(procs) if not p.triggered]}"
+        )
     return ex.report()
 
 

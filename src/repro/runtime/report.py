@@ -53,6 +53,10 @@ class RunReport:
     #: per-channel utilization), ready for the obs exporters.  Empty
     #: unless the run was traced.
     metrics_rows: List[dict] = field(default_factory=list)
+    #: Fault-injection statistics (``FaultInjector.stats()``): dropped and
+    #: corrupted flits, retransmission rounds, stalls, kills.  Empty unless
+    #: the run had an active fault plan.
+    fault_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def comm_max_s(self) -> float:
@@ -96,5 +100,14 @@ class RunReport:
         if self.hw.get("hw_broadcasts"):
             lines.append(
                 f"  V-Bus broadcasts  : {int(self.hw['hw_broadcasts'])}"
+            )
+        if self.fault_stats:
+            fs = self.fault_stats
+            lines.append(
+                f"  faults            : "
+                f"{int(fs.get('fault_dropped_flits', 0))} dropped,"
+                f" {int(fs.get('fault_corrupt_flits', 0))} corrupt flit(s);"
+                f" {int(fs.get('fault_retx_rounds', 0))} retx round(s),"
+                f" {int(fs.get('fault_kills', 0))} kill(s)"
             )
         return "\n".join(lines)

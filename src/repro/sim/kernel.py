@@ -268,8 +268,65 @@ class Process(Event):
         hit._cb1 = self._resume
         self.sim._schedule(hit, priority=URGENT)
 
+    def kill(self, cause: Any = None) -> None:
+        """Terminate the process immediately, without resuming it.
+
+        Unlike :meth:`interrupt` (which throws a catchable
+        :class:`Interrupt` *into* the generator), ``kill`` closes the
+        generator — ``finally`` blocks run, so held resources and channels
+        are released — and fails the process event with ``cause`` so
+        waiters (e.g. an :class:`AllOf` over all ranks) see a typed error.
+
+        The event the process was waiting on is detached and, when it is a
+        scheduled one-shot nobody else waits on (a timeout or an init
+        ping), eagerly reclaimed via :meth:`Simulator.reclaim` — a lazy
+        ``cancel`` would still drag the clock to the orphan's timestamp
+        when the entry is popped.  Events owned by other parties (resource
+        grants, peer processes) are merely detached; their owner remains
+        responsible for them.
+
+        No-op on an already-finished process.  Must not be called from
+        inside the process itself (a running generator cannot be closed).
+        """
+        if self.triggered:
+            return
+        sim = self.sim
+        target = self._target
+        self._target = None
+        if target is not None and not target._processed:
+            target._remove_cb(self._resume)
+            self._reclaim_orphan(target)
+        self._generator.close()
+        exc = cause if isinstance(cause, BaseException) else Interrupt(cause)
+        self._ok = False
+        self._value = exc
+        # Pre-defused: the kill is deliberate, so a kill nobody waits on
+        # must not crash the event loop.
+        self._defused = True
+        sim._schedule(self, priority=URGENT)
+
+    def _reclaim_orphan(self, event: Event) -> None:
+        """Reclaim scheduled one-shots orphaned by a kill (best effort).
+
+        Guarded on ``_processed``, not ``triggered``: timeouts preload
+        their value at construction, so they are *born* triggered.
+        """
+        if event._processed or event.callbacks:
+            return
+        if isinstance(event, _Condition):
+            for ev in event.events:
+                if not ev._processed:
+                    ev._remove_cb(event._check)
+                    self._reclaim_orphan(ev)
+        elif isinstance(event, (Timeout, _Initialize)):
+            self.sim.reclaim(event)
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with the event's outcome."""
+        if self.triggered:
+            # Killed while a stale resume (e.g. an already-processed-target
+            # ping) was still queued: the generator is closed, drop it.
+            return
         sim = self.sim
         sim._active_process = self
         try:
@@ -488,6 +545,28 @@ class Simulator:
         if event._processed:
             raise SimulationError("cannot cancel a processed event")
         event._cancelled = True
+
+    def reclaim(self, event: Event) -> None:
+        """Eagerly remove a scheduled-but-unprocessed event from the queue.
+
+        ``cancel`` leaves the heap entry behind and the clock still
+        advances to its timestamp when it is popped; ``reclaim`` filters
+        the entry out (one O(n) pass + heapify), so an orphaned far-future
+        timeout — e.g. one owned by a killed process — cannot drag ``now``
+        forward or keep the run alive.  Poolable timeouts go back to the
+        free list immediately.
+        """
+        if event._processed:
+            raise SimulationError("cannot reclaim a processed event")
+        event._cancelled = True
+        # In place: run() holds a reference to the queue list, so rebinding
+        # self._queue would desynchronize an in-flight run loop.
+        kept = [entry for entry in self._queue if entry[3] is not event]
+        if len(kept) != len(self._queue):
+            heapq.heapify(kept)
+            self._queue[:] = kept
+        if event._poolable:
+            self._recycle(event)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:

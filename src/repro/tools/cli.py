@@ -26,6 +26,8 @@ from typing import List, Optional
 
 from repro.compiler.pipeline import compile_file
 from repro.compiler.postpass.granularity import GRAINS
+from repro.faults.plan import FaultPlan
+from repro.mpi2.exceptions import MpiFaultError
 from repro.obs.export import (
     timeline_summary,
     write_chrome_trace,
@@ -53,6 +55,21 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default="auto",
         help="work partitioning strategy (paper §5.3)",
     )
+
+
+def _add_faults(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="seeded fault plan to inject (schema: docs/FAULTS.md)",
+    )
+
+
+def _load_faults(args) -> Optional[FaultPlan]:
+    if getattr(args, "faults", None) is None:
+        return None
+    return FaultPlan.load(args.faults)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run sequentially and report the speedup",
     )
+    _add_faults(pr)
 
     pt = sub.add_parser(
         "trace", help="run with tracing on and export timeline + metrics"
@@ -112,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=3,
         help="span names per track in the text timeline",
     )
+    _add_faults(pt)
 
     pa = sub.add_parser("autotune", help="pick the best granularity")
     pa.add_argument("source")
@@ -158,7 +177,7 @@ def _cmd_run(args) -> int:
         granularity=args.granularity,
         partition=args.partition,
     )
-    report = run_program(prog, execute=not args.timing)
+    report = run_program(prog, execute=not args.timing, faults=_load_faults(args))
     for line in report.stdout:
         print(line)
     print(report.summary())
@@ -185,7 +204,9 @@ def _cmd_trace(args) -> int:
         granularity=args.granularity,
         partition=args.partition,
     )
-    report = run_program(prog, execute=not args.timing, trace=True)
+    report = run_program(
+        prog, execute=not args.timing, trace=True, faults=_load_faults(args)
+    )
     prefix = args.out or os.path.splitext(os.path.basename(args.source))[0]
     trace_path = f"{prefix}.trace.json"
     mjson_path = f"{prefix}.metrics.json"
@@ -214,13 +235,17 @@ def _cmd_autotune(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "compile":
-        return _cmd_compile(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    return _cmd_autotune(args)
+    try:
+        if args.command == "compile":
+            return _cmd_compile(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        return _cmd_autotune(args)
+    except MpiFaultError as exc:
+        print(f"fault: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

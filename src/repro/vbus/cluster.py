@@ -71,6 +71,25 @@ class Cluster:
             self.vbusctl = None
             self.ethernet = EthernetNetwork(sim, params.ethernet, self.nprocs)
 
+        #: Fault injection (see repro.faults): one injector per run, wired
+        #: into every layer that models the wire.  Imported lazily — the
+        #: injector module pulls in the typed MPI errors, which would close
+        #: an import cycle back to this module.
+        self.injector = None
+        if params.faults is not None and params.faults.active:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(sim, params.faults, self.nprocs)
+            for nic in self.nics:
+                nic.injector = self.injector
+            if self.mesh is not None:
+                self.mesh.injector = self.injector
+            if self.vbusctl is not None:
+                self.vbusctl.injector = self.injector
+                self.vbusctl.width_bits = params.link.width_bits
+            if self.ethernet is not None:
+                self.ethernet.injector = self.injector
+
     # -- shape -----------------------------------------------------------
     @property
     def nprocs(self) -> int:
@@ -145,7 +164,7 @@ class Cluster:
         if self.vbusctl is not None:
             rate = min(self.link_rate_Bps, self.params.nic.dma_rate_Bps)
             network_call = lambda cap: self.vbusctl.broadcast(
-                nbytes, rate if cap is None else min(rate, cap)
+                nbytes, rate if cap is None else min(rate, cap), src=src
             )
         else:
             network_call = lambda cap: self.ethernet.broadcast(src, nbytes, cap)
@@ -304,6 +323,8 @@ class Cluster:
         if self.ethernet is not None:
             out["ether_messages"] = self.ethernet.messages
             out["ether_bytes"] = self.ethernet.bytes
+        if self.injector is not None:
+            out.update(self.injector.stats())
         return out
 
 

@@ -27,6 +27,10 @@ class EthernetNetwork:
         self.params = params
         self.nnodes = nnodes
         self._medium = Resource(sim, capacity=1)
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` = healthy.
+        #: Ethernet legs see drop/corrupt/delay and node kills; channel
+        #: stalls are a mesh concept and do not apply to the shared bus.
+        self.injector = None
         #: Statistics.
         self.messages = 0
         self.bytes = 0
@@ -43,6 +47,11 @@ class EthernetNetwork:
         """Point-to-point message over the shared segment."""
         if src == dst:
             return 0.0
+        inj = self.injector
+        if inj is not None and not inj.active:
+            inj = None
+        if inj is not None:
+            inj.check_alive(src, dst)
         t0 = self.sim.now
         p = self.params
         yield self.sim.timeout(p.sw_latency_s)  # sender kernel stack
@@ -52,6 +61,11 @@ class EthernetNetwork:
             if rate_cap_Bps is not None and rate_cap_Bps < p.rate_Bps:
                 wire = max(wire, nbytes / rate_cap_Bps)
             yield self.sim.timeout(wire)
+            if inj is not None:
+                # Frame-granularity faults; retransmitted frames re-occupy
+                # the shared medium, so this runs while it is still held.
+                nframes = max(1, math.ceil(nbytes / p.mtu_bytes))
+                yield from inj.wire_deliver(src, dst, nframes, wire / nframes)
         finally:
             self._medium.release()
         yield self.sim.timeout(p.sw_latency_s)  # receiver kernel stack
@@ -63,12 +77,21 @@ class EthernetNetwork:
         self, src: int, nbytes: int, rate_cap_Bps: Optional[float] = None
     ) -> Generator:
         """One transmission delivered to every node on the segment."""
+        inj = self.injector
+        if inj is not None and not inj.active:
+            inj = None
+        if inj is not None:
+            inj.check_alive(src)
         t0 = self.sim.now
         p = self.params
         yield self.sim.timeout(p.sw_latency_s)
         yield self._medium.request()
         try:
-            yield self.sim.timeout(self._wire_time(nbytes))
+            wire = self._wire_time(nbytes)
+            yield self.sim.timeout(wire)
+            if inj is not None:
+                nframes = max(1, math.ceil(nbytes / p.mtu_bytes))
+                yield from inj.wire_deliver(src, None, nframes, wire / nframes)
         finally:
             self._medium.release()
         yield self.sim.timeout(p.sw_latency_s)

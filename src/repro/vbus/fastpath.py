@@ -196,6 +196,15 @@ def start_fast_leg(
     before completion) — or ``None`` when the leg cannot be proven safe,
     in which case the caller must run the stepwise path.
     """
+    inj = mesh.injector
+    if inj is not None and inj.active:
+        # Active fault plan: faulty wire legs must run stepwise so stall
+        # windows, drops, and retransmission rounds interleave with other
+        # traffic exactly as the oracle orders them.  Full demotion — not
+        # per-leg — keeps the contract trivially provable (pinned by
+        # tests/test_fastpath_equivalence.py).
+        mesh.fast_fallbacks += 1
+        return None
     domain = mesh.domain
     if domain.frozen:
         mesh.fast_fallbacks += 1

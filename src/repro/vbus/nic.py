@@ -57,6 +57,8 @@ class Nic:
         self.params = params
         #: The single DMA engine; concurrent contiguous sends serialize here.
         self._dma = Resource(sim, capacity=1, obs_name=f"dma.{rank}")
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` = healthy.
+        self.injector = None
         #: Statistics.
         self.messages = 0
         self.bytes = 0
@@ -89,6 +91,11 @@ class Nic:
         """
         if elements is None:
             elements = max(1, nbytes // 8)
+        inj = self.injector
+        if inj is not None and inj.active:
+            # Message-injection fault hook: dead-node check + after_sends
+            # kills fire here, before any cost is charged.
+            inj.on_inject(self.rank)
         t0 = self.sim.now
         cpu_s = 0.0
         done = None

@@ -12,7 +12,9 @@ Calibration targets (all *relative*, per DESIGN.md §2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
+
+from repro.faults.plan import FaultPlan
 
 __all__ = [
     "LinkParams",
@@ -156,6 +158,11 @@ class ClusterParams:
     #: metrics.  Observation only — simulated results are bit-identical
     #: with tracing on or off (see docs/TRACE_FORMAT.md).
     trace: bool = False
+    #: Seeded fault plan (see :mod:`repro.faults` and docs/FAULTS.md);
+    #: ``None`` = healthy hardware.  An *active* plan demotes the fast
+    #: path (faulty wire legs must run stepwise so retransmission rounds
+    #: interleave with other traffic exactly as the oracle would).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.network not in ("vbus", "ethernet"):

@@ -104,6 +104,8 @@ class WormholeMesh:
         self.fast_legs = 0
         self.fast_fallbacks = 0
         self.fast_demotions = 0
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` = healthy.
+        self.injector = None
         self._path_cache: Dict[Tuple[int, int], list] = {}
 
     def channel_path(self, src: int, dst: int) -> list:
@@ -126,6 +128,11 @@ class WormholeMesh:
         """
         if src == dst:
             return 0.0
+        inj = self.injector
+        if inj is not None and not inj.active:
+            inj = None
+        if inj is not None:
+            inj.check_alive(src, dst)
         t0 = self.sim.now
         path = self.channel_path(src, dst)
         acquired = []
@@ -134,6 +141,14 @@ class WormholeMesh:
                 yield ch.acquire()
                 ch.on_acquired()
                 acquired.append(ch)
+                if inj is not None:
+                    # A stalled channel holds the head flit in place until
+                    # its fault window closes.
+                    extra = inj.stall_extra(ch.u, ch.v)
+                    if extra > 0.0:
+                        st0 = self.sim.now
+                        yield from self.domain.interruptible_delay(extra)
+                        inj.note_stall(self.sim.now - st0, ch.u, ch.v, st0)
                 # Head-flit fall-through; pauses if the V-Bus freezes us.
                 yield from self.domain.interruptible_delay(self.link.router_delay_s)
             rate = self.link_rate_Bps
@@ -141,6 +156,15 @@ class WormholeMesh:
                 rate = min(rate, rate_cap_Bps)
             # Body streams pipelined along the held path.
             yield from self.domain.interruptible_delay(nbytes / rate)
+            if inj is not None:
+                # Drop/corrupt/delay faults and their retransmission rounds
+                # run while the path is still held (selective repeat reuses
+                # the claimed route).
+                nflits = flit_count(nbytes, self.link.width_bits)
+                yield from inj.wire_deliver(
+                    src, dst, nflits, (nbytes / rate) / nflits,
+                    wait=self.domain.interruptible_delay,
+                )
         finally:
             for ch in reversed(acquired):
                 ch.release()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.sim import AnyOf, Event, Resource, SimulationError, Simulator
+from repro.vbus.flit import flit_count
 
 __all__ = ["FreezeDomain", "VBusController"]
 
@@ -124,11 +125,17 @@ class VBusController:
         #: Merge the setup/wave/release timeouts into one scheduled event.
         self.fast = fast
         self._bus = Resource(sim, capacity=1, obs_name="vbus.arbiter")
+        #: Optional :class:`repro.faults.FaultInjector` (``None`` = healthy)
+        #: and the link width its flit-level faults are framed against.
+        self.injector = None
+        self.width_bits = 8
         #: Statistics.
         self.broadcast_count = 0
         self.broadcast_bytes = 0
 
-    def broadcast(self, nbytes: int, rate_Bps: float) -> Generator:
+    def broadcast(
+        self, nbytes: int, rate_Bps: float, src: Optional[int] = None
+    ) -> Generator:
         """One hardware broadcast: freeze, configure, stream, release.
 
         The bus reaches every node simultaneously, so streaming time is a
@@ -137,6 +144,11 @@ class VBusController:
         """
         if rate_Bps <= 0:
             raise SimulationError("broadcast rate must be positive")
+        inj = self.injector
+        if inj is not None and not inj.active:
+            inj = None
+        if inj is not None and src is not None:
+            inj.check_alive(src)
         t0 = self.sim.now
         yield self._bus.request()
         self.domain.freeze()
@@ -160,6 +172,14 @@ class VBusController:
                 yield self.sim.timeout(nbytes / rate_Bps)
                 if self.release_s:
                     yield self.sim.timeout(self.release_s)
+            if inj is not None and src is not None:
+                # Flit-level faults on the broadcast wave.  The domain is
+                # frozen by this very broadcast, so retransmission rounds
+                # wait with plain timeouts (the default), holding the bus.
+                nflits = flit_count(nbytes, self.width_bits)
+                yield from inj.wire_deliver(
+                    src, None, nflits, (nbytes / rate_Bps) / nflits
+                )
             self.broadcast_count += 1
             self.broadcast_bytes += nbytes
         finally:

@@ -20,6 +20,7 @@ DOC_FILES = (
     ROOT / "README.md",
     ROOT / "docs" / "TRACE_FORMAT.md",
     ROOT / "docs" / "ARCHITECTURE.md",
+    ROOT / "docs" / "FAULTS.md",
 )
 
 #: Snippets matching any of these substrings get the ``slow`` marker.

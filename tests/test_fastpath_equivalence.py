@@ -272,3 +272,68 @@ def test_stepwise_mode_never_uses_fast_legs():
     proc = sim.process(cluster.transfer(0, 1, 4096))
     sim.run(until=proc)
     assert cluster.mesh.fast_legs == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault plans and the fast path
+# ---------------------------------------------------------------------------
+def _fault_params(rows, cols, fast):
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan(
+        seed=17,
+        specs=(
+            FaultSpec(kind="drop", rate=0.05),
+            FaultSpec(kind="delay", rate=0.25, delay_s=2e-6),
+        ),
+    )
+    return replace(_params(rows, cols, fast), faults=plan)
+
+
+@pytest.mark.parametrize("rows,cols", MESHES)
+def test_fault_plan_fast_vs_slow_equivalent(rows, cols):
+    """With an active plan the fast config must replay faults identically.
+
+    It does so by demoting itself wholesale (every leg goes stepwise), so
+    fast and slow runs are the *same* injection sequence — end times,
+    receipts, counters, and fault statistics all match exactly.
+    """
+
+    def scenario(cluster, records):
+        return [
+            ("a", cluster.transfer(0, 1, 4096)),
+            ("b", cluster.transfer(1, 0, 2048)),
+            ("c", cluster.transfer(0, rows * cols - 1, 8192)),
+        ]
+
+    slow = _run(_fault_params(rows, cols, False), scenario)
+    fast = _run(_fault_params(rows, cols, True), scenario)
+    assert fast["now"] == slow["now"]
+    assert fast["records"] == slow["records"]
+    assert fast["stats"] == slow["stats"]  # includes fault_* counters
+    assert fast["channels"] == slow["channels"]
+    assert slow["stats"]["fault_dropped_flits"] > 0
+
+
+def test_active_fault_plan_demotes_every_leg():
+    """fast_path=True + active plan => zero fast legs, fallbacks counted."""
+    params = _fault_params(2, 2, True)
+    sim = Simulator()
+    cluster = Cluster(sim, params)
+    proc = sim.process(cluster.transfer(0, 1, 4096))
+    sim.run(until=proc)
+    assert cluster.mesh.fast_legs == 0
+    assert cluster.mesh.fast_fallbacks >= 1
+
+
+def test_empty_fault_plan_keeps_fast_path():
+    """A plan with no specs is inactive: no injector, fast path engages."""
+    from repro.faults import FaultPlan
+
+    params = replace(_params(2, 2, True), faults=FaultPlan(seed=3))
+    sim = Simulator()
+    cluster = Cluster(sim, params)
+    assert cluster.injector is None
+    proc = sim.process(cluster.transfer(0, 1, 4096))
+    sim.run(until=proc)
+    assert cluster.mesh.fast_legs == 1

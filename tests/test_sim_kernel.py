@@ -419,3 +419,212 @@ def test_all_of_skips_pre_completed_events():
     sim.process(proc())
     sim.run()
     assert sim.now == 1.0 and len(results) == 1
+
+
+# ---------------------------------------------------------------------------
+# Process.kill / Simulator.reclaim (fault-injection support)
+# ---------------------------------------------------------------------------
+def test_kill_reclaims_orphaned_timeout():
+    """Killing a process must not leave its pending timeout dragging the
+    clock: the orphaned event is reclaimed from the heap, so the run ends
+    at the last *live* event's time."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        yield sim.timeout(10.0)
+        log.append("victim")  # pragma: no cover - must never run
+
+    def other():
+        yield sim.timeout(1.0)
+        log.append("other")
+
+    p = sim.process(victim())
+    sim.process(other())
+
+    def killer():
+        yield sim.timeout(0.5)
+        p.kill(RuntimeError("node down"))
+
+    sim.process(killer())
+    sim.run()
+    assert log == ["other"]
+    assert sim.now == 1.0  # not 10.0: the orphan did not advance the clock
+    assert not sim._queue  # nothing leaked into the heap
+    assert p.processed and not p.ok
+    assert isinstance(p.value, RuntimeError)
+
+
+def test_kill_runs_finally_blocks_releasing_resources():
+    """kill() closes the generator, so try/finally cleanup runs and held
+    resources are released to waiters (no orphaned lock after node death)."""
+    from repro.sim import Resource
+
+    sim = Simulator()
+    res = Resource(sim)
+    got = []
+
+    def holder():
+        yield res.request()
+        try:
+            yield sim.timeout(100.0)
+        finally:
+            res.release()
+
+    def waiter():
+        yield sim.timeout(1.0)
+        yield res.request()
+        got.append(sim.now)
+        res.release()
+
+    p = sim.process(holder())
+    sim.process(waiter())
+
+    def killer():
+        yield sim.timeout(2.0)
+        p.kill()
+
+    sim.process(killer())
+    sim.run()
+    assert got == [2.0]  # waiter acquired the instant the holder died
+
+
+def test_kill_defuses_failure():
+    """A killed process nobody waits on must not crash the run."""
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(5.0)
+
+    p = sim.process(victim())
+
+    def killer():
+        yield sim.timeout(1.0)
+        p.kill(ValueError("boom"))
+
+    sim.process(killer())
+    sim.run()  # no SimulationError: the failure is pre-defused
+    assert not p.ok and isinstance(p.value, ValueError)
+
+
+def test_kill_propagates_to_condition_waiters():
+    """AllOf over a killed process fails with the kill cause."""
+    sim = Simulator()
+    seen = []
+
+    def victim():
+        yield sim.timeout(5.0)
+
+    def bystander():
+        yield sim.timeout(3.0)
+
+    pv = sim.process(victim())
+    pb = sim.process(bystander())
+
+    def watcher():
+        try:
+            yield AllOf(sim, [pv, pb])
+        except RuntimeError as exc:
+            seen.append((sim.now, str(exc)))
+
+    sim.process(watcher())
+
+    def killer():
+        yield sim.timeout(1.0)
+        pv.kill(RuntimeError("node 3 died"))
+
+    sim.process(killer())
+    sim.run()
+    assert seen == [(1.0, "node 3 died")]
+
+
+def test_kill_reclaims_condition_orphans():
+    """A victim parked on AnyOf(timeouts) leaves no heap entries behind."""
+    sim = Simulator()
+
+    def victim():
+        yield AnyOf(sim, [sim.timeout(50.0), sim.timeout(80.0)])
+
+    p = sim.process(victim())
+
+    def killer():
+        yield sim.timeout(1.0)
+        p.kill()
+
+    sim.process(killer())
+    sim.run()
+    assert sim.now == 1.0
+    assert not sim._queue
+
+
+def test_reclaim_returns_pooled_timeout_to_pool():
+    """The event pool leaks nothing when a pooled timeout is reclaimed
+    (the kill path routes orphaned poolable events through reclaim): the
+    object is recycled and handed out again by the very next request."""
+    sim = Simulator()
+    hits = []
+    t = sim.pooled_timeout_at(5.0, hits.append)
+    sim.reclaim(t)
+    assert not sim._queue  # eagerly removed, clock will not reach 5.0
+    t2 = sim.pooled_timeout_at(1.0, hits.append)
+    assert t2 is t  # recycled, not leaked
+    sim.run()
+    assert sim.now == 1.0
+    assert hits == [t2]
+
+
+def test_kill_is_idempotent_and_noop_after_completion():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+        return "done"
+
+    p = sim.process(quick())
+    sim.run()
+    assert p.ok and p.value == "done"
+    p.kill()  # no-op on a completed process
+    assert p.ok and p.value == "done"
+
+
+def test_kill_after_interrupt_swallows_stale_ping():
+    """interrupt() queues an URGENT resume ping that is *not* the victim's
+    target; a kill() in the same timestep cannot detach it.  When the stale
+    ping pops, _resume must drop it instead of resuming a closed generator."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt:  # pragma: no cover - the kill must win
+            log.append("interrupted")
+
+    p = sim.process(victim())
+
+    def killer():
+        yield sim.timeout(1.0)
+        p.interrupt("hiccup")  # stale ping enters the heap ...
+        p.kill(RuntimeError("node down"))  # ... and the kill lands first
+
+    sim.process(killer())
+    sim.run()
+    assert log == []
+    assert not p.ok and isinstance(p.value, RuntimeError)
+
+
+def test_reclaim_unprocessed_event():
+    sim = Simulator()
+    t = sim.timeout(5.0)
+    sim.timeout(1.0)
+    sim.reclaim(t)
+    sim.run()
+    assert sim.now == 1.0
+
+
+def test_reclaim_processed_event_rejected():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.reclaim(t)

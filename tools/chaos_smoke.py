@@ -1,0 +1,194 @@
+"""CI chaos smoke: seeded fault plans over real workloads + overhead check.
+
+Two jobs, both fast enough for every CI run:
+
+1. **Chaos sweep** — three seeded fault plans x two workloads.  Each run
+   must end in one of the two contracted outcomes (docs/FAULTS.md):
+   *recovered* (bit-identical arrays vs the fault-free run) or a *typed*
+   ``MpiFaultError``.  Anything else — silent corruption, a hang, an
+   untyped exception — fails the smoke.
+
+2. **Fault-off overhead** — with the fault layer merged but *no* plan
+   active, the per-transfer injection hooks must be near-free.  The
+   script times the MM-256 fast-path run and compares against the
+   ``fast_run_s`` recorded in ``BENCH_PR1.json`` (same machine, pre-fault
+   baseline).  The <1% target is a soft threshold: wall-clock noise on
+   shared CI easily exceeds it, so a miss prints a WARNING instead of
+   failing the build.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python tools/chaos_smoke.py [--skip-overhead]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.compiler.pipeline import compile_source
+from repro.faults import FaultPlan, FaultSpec
+from repro.mpi2.exceptions import MpiFaultError
+from repro.runtime.executor import run_program
+from repro.vbus.params import VBUS_SKWP, cluster_for
+from repro.workloads import jacobi, mm
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+OVERHEAD_SOFT_PCT = 1.0
+
+#: The smoke plans: one pure-loss plan, one corruption+jitter plan, and
+#: one availability plan (stall + kill) expected to end in a typed error.
+PLANS = [
+    (
+        "drop5",
+        FaultPlan(
+            seed=11, specs=(FaultSpec(kind="drop", rate=0.05),), max_sim_s=10.0
+        ),
+    ),
+    (
+        "corrupt+delay",
+        FaultPlan(
+            seed=22,
+            specs=(
+                FaultSpec(kind="corrupt", rate=0.03),
+                FaultSpec(kind="delay", rate=0.2, delay_s=5e-6),
+            ),
+            max_sim_s=10.0,
+        ),
+    ),
+    (
+        "stall+kill",
+        FaultPlan(
+            seed=33,
+            specs=(
+                FaultSpec(kind="stall", node=1, t0=0.0, t1=1e-4),
+                FaultSpec(kind="kill", node=2, at_s=2e-4),
+            ),
+            max_sim_s=10.0,
+        ),
+    ),
+]
+
+
+def _workloads():
+    return [
+        ("JACOBI-16", jacobi.source(n=16, steps=2)),
+        ("MM-12", mm.source(12)),
+    ]
+
+
+def chaos_sweep() -> int:
+    params = cluster_for(4, VBUS_SKWP)
+    failures = 0
+    print(f"{'workload':10s} {'plan':14s} {'outcome':34s} detail")
+    for wname, src in _workloads():
+        prog = compile_source(src, nprocs=4, granularity="coarse")
+        clean = run_program(prog, cluster_params=params)
+        for pname, plan in PLANS:
+            try:
+                rep = run_program(prog, cluster_params=params, faults=plan)
+            except MpiFaultError as exc:
+                print(
+                    f"{wname:10s} {pname:14s} {'typed error (ok)':34s} "
+                    f"{type(exc).__name__}"
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 - contract violation
+                failures += 1
+                print(
+                    f"{wname:10s} {pname:14s} {'UNTYPED ERROR (fail)':34s} "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            identical = all(
+                np.array_equal(clean.memory.arrays[n], rep.memory.arrays[n])
+                for n in clean.memory.arrays
+            )
+            fs = rep.fault_stats
+            detail = (
+                f"{int(fs.get('fault_dropped_flits', 0))} drop,"
+                f" {int(fs.get('fault_corrupt_flits', 0))} corrupt,"
+                f" {int(fs.get('fault_retx_rounds', 0))} retx,"
+                f" {int(fs.get('fault_stalls', 0))} stall"
+            )
+            if identical:
+                print(f"{wname:10s} {pname:14s} {'recovered (ok)':34s} {detail}")
+            else:
+                failures += 1
+                print(
+                    f"{wname:10s} {pname:14s} "
+                    f"{'SILENT CORRUPTION (fail)':34s} {detail}"
+                )
+    return failures
+
+
+def overhead_check() -> None:
+    bench_path = os.path.join(ROOT, "BENCH_PR1.json")
+    baseline = None
+    if os.path.exists(bench_path):
+        with open(bench_path) as fh:
+            rows = json.load(fh).get("rows", [])
+        for row in rows:
+            if row.get("workload") == "MM-256" and row.get("nprocs") == 4:
+                baseline = row.get("fast_run_s")
+                break
+    src = mm.source(256)
+    from dataclasses import replace
+
+    params = replace(cluster_for(4, VBUS_SKWP), fast_path=True)
+    prog = compile_source(src, nprocs=4, granularity="fine")
+    # execute=False matches bench_wallclock's timing mode (the recorded
+    # fast_run_s skips the numeric array work).
+    run_program(prog, cluster_params=params, execute=False)  # warm-up
+    samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run_program(prog, cluster_params=params, execute=False)
+        samples.append(time.perf_counter() - t0)
+    now_s = min(samples)
+    print(f"fault-off MM-256 fast run : {now_s:.4f} s (best of {len(samples)})")
+    if baseline is None:
+        print("no MM-256 fast_run_s in BENCH_PR1.json; overhead not compared")
+        return
+    pct = (now_s - baseline) / baseline * 100.0
+    print(
+        f"BENCH_PR1 fast_run_s      : {baseline:.4f} s "
+        f"(fault-off overhead {pct:+.2f}%, soft target <{OVERHEAD_SOFT_PCT:.0f}%)"
+    )
+    if pct > OVERHEAD_SOFT_PCT:
+        print(
+            f"WARNING: fault-off overhead {pct:+.2f}% exceeds the "
+            f"{OVERHEAD_SOFT_PCT:.0f}% soft target (wall-clock noise or a "
+            "real regression in the injection hooks)"
+        )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--skip-overhead",
+        action="store_true",
+        help="run only the chaos sweep (skip the wall-clock comparison)",
+    )
+    args = ap.parse_args(argv)
+    print("== chaos smoke: 3 seeded plans x 2 workloads ==")
+    failures = chaos_sweep()
+    if not args.skip_overhead:
+        print()
+        print("== fault-off overhead vs BENCH_PR1 ==")
+        overhead_check()
+    if failures:
+        print(f"\n{failures} contract violation(s)")
+        return 1
+    print("\nchaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

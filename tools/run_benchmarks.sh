@@ -20,6 +20,10 @@ echo "== docs snippet check (README/docs examples must run) =="
 tools/check_docs.sh -m "not slow"
 
 echo
+echo "== chaos smoke (seeded fault plans + fault-off overhead) =="
+python tools/chaos_smoke.py
+
+echo
 echo "== wall-clock benchmark =="
 python benchmarks/bench_wallclock.py "$@"
 
