@@ -23,9 +23,7 @@ rank.  Asserted shapes:
 
 import pytest
 
-from repro.compiler.pipeline import compile_source
-from repro.runtime.executor import run_program
-from repro.workloads import cffzinit, mm, swim
+from repro.sweep import run_sweep
 
 from benchmarks.benchutil import emit_table, run_once
 
@@ -37,23 +35,34 @@ PAPER = {
 }
 
 
+#: Display name -> sweep workload spec (docs/SWEEP.md grammar).
+SPECS = {"MM": "MM-1024", "SWIM": "SWIM-512x1", "CFFZINIT": "CFFZINIT-11"}
+
+
 def _measure():
-    workloads = [
-        ("MM", mm.source(1024)),
-        ("SWIM", swim.source(512, itmax=1)),
-        ("CFFZINIT", cffzinit.source(11)),
-    ]
+    # The 3x3 grid runs through repro.sweep; cache_dir=None because a
+    # benchmark that asserts on simulated values must re-measure rather
+    # than replay version-keyed cached rows across source edits.
+    grid = {
+        "name": "table2-granularity",
+        "axes": {
+            "workload": list(SPECS.values()),
+            "granularity": list(GRAINS),
+        },
+    }
+    result = run_sweep(grid, cache_dir=None)
+    by_spec = {name: spec for name, spec in SPECS.items()}
     out = {}
-    for name, src in workloads:
-        for grain in GRAINS:
-            prog = compile_source(src, nprocs=4, granularity=grain)
-            r = run_program(prog, execute=False)
-            out[(name, grain)] = (
-                r.comm_cpu_max_s,
-                r.comm_max_s,
-                int(r.hw["messages"]),
-                r.strided_transfers,
-            )
+    for row in result.rows:
+        assert row["status"] == "ok", row
+        name = next(n for n, s in by_spec.items() if s == row["workload"])
+        res = row["result"]
+        out[(name, row["granularity"])] = (
+            res["comm_cpu_max_s"],
+            res["comm_max_s"],
+            res["messages"],
+            res["strided_transfers"],
+        )
     return out
 
 

@@ -81,6 +81,56 @@ class RunReport:
     def compute_max_s(self) -> float:
         return max(self.compute_s.values(), default=0.0)
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """Deterministic JSON-able digest for sweep rows and caching.
+
+        Only simulated quantities appear — no wall-clock, no live
+        objects — so two runs of the same config serialize to identical
+        bytes (the property the sweep cache and the serial-vs-parallel
+        byte-identity contract rely on).
+        """
+        return {
+            "nprocs": self.nprocs,
+            "granularity": self.granularity,
+            "simulated_s": self.total_s,
+            "compute_max_s": self.compute_max_s,
+            "comm_max_s": self.comm_max_s,
+            "comm_cpu_max_s": self.comm_cpu_max_s,
+            "fence_wait_max_s": max(self.fence_wait_s.values(), default=0.0),
+            "messages": int(self.hw.get("messages", 0)),
+            "bytes": int(self.hw.get("bytes", 0)),
+            "contiguous_transfers": self.contiguous_transfers,
+            "strided_transfers": self.strided_transfers,
+            "hw": {key: self.hw[key] for key in sorted(self.hw)},
+            "fault_stats": {
+                key: self.fault_stats[key] for key in sorted(self.fault_stats)
+            },
+            "stdout": list(self.stdout),
+            "array_digest": self.array_digest(),
+        }
+
+    def array_digest(self) -> Optional[str]:
+        """SHA-256 over the master's arrays (name, dtype, shape, bytes).
+
+        ``None`` in timing mode (no memory).  Two runs recovered to
+        bit-identical numeric state digest identically, so sweep rows can
+        carry the "recovered vs silently corrupted" fault contract
+        (docs/FAULTS.md) without shipping the arrays themselves.
+        """
+        if self.memory is None:
+            return None
+        import hashlib
+
+        h = hashlib.sha256()
+        arrays = self.memory.arrays
+        for name in sorted(arrays):
+            arr = arrays[name]
+            h.update(name.encode("utf-8"))
+            h.update(str(arr.dtype).encode("utf-8"))
+            h.update(str(arr.shape).encode("utf-8"))
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
     def speedup_vs(self, sequential_s: float) -> float:
         if self.total_s <= 0:
             return float("inf")

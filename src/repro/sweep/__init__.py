@@ -1,0 +1,38 @@
+"""Parallel experiment sweeps with a content-addressed result cache.
+
+``repro.sweep`` turns a declarative grid — workload x nprocs x backend x
+params x fault plan — into independent jobs, runs them on a process pool
+with per-job deterministic seeding, and memoizes every finished job in an
+on-disk cache keyed by a stable hash of (canonical config, repro
+version).  Re-runs are cache hits, interrupted sweeps resume where they
+stopped, and results merge in deterministic job order so serial and
+``--jobs N`` sweeps emit byte-identical JSONL (pinned by
+``tests/test_sweep_engine.py`` — the same contract the fast-path oracle
+pins for simulated time).
+
+See ``docs/SWEEP.md`` for the grid schema, the cache layout, and the
+determinism contract.
+"""
+
+from repro.sweep.cache import SCHEMA_VERSION, cache_path, job_key
+from repro.sweep.engine import SweepResult, run_sweep, summary_table, write_jsonl
+from repro.sweep.grid import AXIS_KEYS, SweepConfigError, expand_grid, load_grid
+from repro.sweep.runner import BACKENDS, SweepWorkerLost, parse_workload, run_job
+
+__all__ = [
+    "AXIS_KEYS",
+    "BACKENDS",
+    "SCHEMA_VERSION",
+    "SweepConfigError",
+    "SweepResult",
+    "SweepWorkerLost",
+    "cache_path",
+    "expand_grid",
+    "job_key",
+    "load_grid",
+    "parse_workload",
+    "run_job",
+    "run_sweep",
+    "summary_table",
+    "write_jsonl",
+]

@@ -1,0 +1,91 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+A job's cache key is the SHA-256 of its **canonical** JSON — the config
+with sorted keys and compact separators, wrapped with the repro package
+version and the sweep row schema version::
+
+    sha256({"config": {...}, "repro": "1.0.0", "schema": 1})
+
+Identical configs hash identically no matter how the grid was written;
+any config change, package release, or row-schema bump changes the key,
+so stale results can never be replayed.  Entries live under
+``<cache_dir>/<key[:2]>/<key>.json`` (two-level fan-out keeps directory
+listings short) and are written atomically — a temp file in the same
+directory then :func:`os.replace` — so a killed sweep never leaves a
+truncated entry behind and an interrupted sweep resumes from whatever
+finished.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro._version import __version__
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "job_key",
+    "cache_path",
+    "load_row",
+    "store_row",
+]
+
+#: Bump when the sweep row layout changes: invalidates every cached row.
+SCHEMA_VERSION = 1
+
+#: Default cache location, relative to the invoking directory.
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+
+def canonical_json(value) -> str:
+    """The one true serialization used for hashing and JSONL output."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def job_key(
+    config: Dict, version: str = __version__, schema: int = SCHEMA_VERSION
+) -> str:
+    """Stable content hash of one job config."""
+    doc = {"config": config, "repro": version, "schema": schema}
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, key[:2], f"{key}.json")
+
+
+def load_row(cache_dir: str, key: str) -> Optional[Dict]:
+    """The cached row for ``key``, or ``None`` on miss/corruption."""
+    path = cache_path(cache_dir, key)
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError):
+        # A damaged entry is a miss; the re-run overwrites it atomically.
+        return None
+
+
+def store_row(cache_dir: str, key: str, row: Dict) -> None:
+    """Atomically persist ``row`` under ``key``."""
+    path = cache_path(cache_dir, key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(canonical_json(row))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,215 @@
+"""The sweep engine: expand, consult the cache, fan out, merge.
+
+Execution strategy:
+
+* **Serial** (``jobs <= 1``): cache misses run inline, in expansion
+  order.
+* **Parallel**: misses are submitted to a ``ProcessPoolExecutor``.  If a
+  worker process dies (a crashing job takes the whole pool down —
+  CPython cannot tell *which* submission killed it), every unfinished
+  job is retried one at a time in its own fresh single-worker pool, so
+  the crasher isolates itself and surfaces as a typed
+  :class:`~repro.sweep.runner.SweepWorkerLost` row while every innocent
+  job completes normally.
+
+Results always merge in **expansion order**, never completion order, and
+rows serialize through one canonical JSON encoder — a serial sweep and a
+``--jobs N`` sweep of the same grid emit byte-identical JSONL.  Only
+``ok`` and ``fault`` rows are cached: both are deterministic outcomes of
+the config; ``error`` rows (crashed workers, harness bugs) are retried
+on the next run instead of being replayed forever.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sweep.cache import (
+    DEFAULT_CACHE_DIR,
+    canonical_json,
+    job_key,
+    load_row,
+    store_row,
+)
+from repro.sweep.grid import expand_grid
+from repro.sweep.runner import run_job, worker_lost_row
+
+__all__ = ["SweepResult", "run_sweep", "summary_table", "write_jsonl"]
+
+#: Cacheable job outcomes (deterministic functions of the config).
+_CACHEABLE = ("ok", "fault")
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: merged rows plus execution metadata."""
+
+    name: str
+    rows: List[Dict]
+    keys: List[str]
+    hits: int
+    misses: int
+    wall_s: float
+    jobs: int
+    errors: int = 0
+    faults: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def _progress(progress: Optional[Callable[[str], None]], msg: str) -> None:
+    if progress is not None:
+        progress(msg)
+
+
+def _finish(rows, i, row, cache_dir) -> None:
+    rows[i] = row
+    if cache_dir is not None and row["status"] in _CACHEABLE:
+        store_row(cache_dir, row["key"], row)
+
+
+def _run_parallel(configs, keys, pending, jobs, rows, cache_dir, progress):
+    """Pool execution with lost-worker isolation (see module docstring)."""
+    broken: List[int] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(run_job, configs[i], keys[i]): i for i in pending
+        }
+        for fut in as_completed(futures):
+            i = futures[fut]
+            try:
+                row = fut.result()
+            except Exception:  # noqa: BLE001 - pool-level failure
+                # The pool broke (some worker died); which job killed it
+                # is unknowable from here.  Defer to isolation.
+                broken.append(i)
+                continue
+            _finish(rows, i, row, cache_dir)
+            _progress(progress, f"ran {_label(configs[i])}")
+    for i in sorted(broken):
+        # One job per fresh single-worker pool: a crasher can only take
+        # itself down, so it self-identifies; innocents just rerun.
+        with ProcessPoolExecutor(max_workers=1) as solo:
+            fut = solo.submit(run_job, configs[i], keys[i])
+            try:
+                row = fut.result()
+            except Exception:  # noqa: BLE001 - this job IS the crasher
+                row = worker_lost_row(configs[i], keys[i])
+        _finish(rows, i, row, cache_dir)
+        _progress(progress, f"isolated {_label(configs[i])}")
+
+
+def run_sweep(
+    spec: Dict,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run a grid spec; returns rows merged in deterministic order.
+
+    ``cache_dir=None`` disables the cache entirely (every job runs).
+    """
+    t0 = time.perf_counter()
+    configs = expand_grid(spec)
+    keys = [job_key(cfg) for cfg in configs]
+    rows: List[Optional[Dict]] = [None] * len(configs)
+
+    pending: List[int] = []
+    hits = 0
+    for i, key in enumerate(keys):
+        cached = load_row(cache_dir, key) if cache_dir is not None else None
+        if cached is not None:
+            rows[i] = cached
+            hits += 1
+        else:
+            pending.append(i)
+    _progress(
+        progress,
+        f"{len(configs)} job(s): {hits} cached, {len(pending)} to run "
+        f"(jobs={jobs})",
+    )
+
+    if pending:
+        # jobs > 1 always uses worker processes, even for a single
+        # pending job: parallel mode promises worker isolation (a job
+        # that kills its process must become a SweepWorkerLost row, not
+        # take the sweep down), and a resumed sweep often has exactly
+        # one miss left.
+        if jobs <= 1:
+            for i in pending:
+                _finish(rows, i, run_job(configs[i], keys[i]), cache_dir)
+                _progress(progress, f"ran {_label(configs[i])}")
+        else:
+            _run_parallel(
+                configs, keys, pending, jobs, rows, cache_dir, progress
+            )
+
+    assert all(row is not None for row in rows)
+    return SweepResult(
+        name=spec.get("name", "sweep"),
+        rows=rows,
+        keys=keys,
+        hits=hits,
+        misses=len(pending),
+        wall_s=time.perf_counter() - t0,
+        jobs=jobs,
+        errors=sum(1 for r in rows if r["status"] == "error"),
+        faults=sum(1 for r in rows if r["status"] == "fault"),
+    )
+
+
+def _label(config: Dict) -> str:
+    bits = [
+        config["workload"],
+        f"np={config['nprocs']}",
+        config["backend"],
+        config["granularity"],
+    ]
+    if config["faults"] is not None:
+        bits.append("faults")
+    return " ".join(bits)
+
+
+def write_jsonl(rows: List[Dict], path: str) -> None:
+    """One canonical-JSON row per line; byte-stable across runs."""
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(canonical_json(row))
+            fh.write("\n")
+
+
+def summary_table(result: SweepResult) -> str:
+    """Human-readable sweep summary (stdout, never part of the JSONL)."""
+    head = (
+        f"{'workload':12s} {'np':>3s} {'backend':18s} {'gran':6s} "
+        f"{'status':7s} {'sim ms':>10s} {'comm ms':>10s} {'msgs':>8s}"
+    )
+    lines = [f"sweep: {result.name}", head, "-" * len(head)]
+    for row in result.rows:
+        res = row.get("result") or {}
+        sim = res.get("simulated_s")
+        comm = res.get("comm_max_s")
+        lines.append(
+            f"{row['workload']:12s} {row['nprocs']:>3d} "
+            f"{row['backend']:18s} {row['granularity']:6s} "
+            f"{row['status']:7s} "
+            f"{'' if sim is None else format(sim * 1e3, '10.3f'):>10s} "
+            f"{'' if comm is None else format(comm * 1e3, '10.3f'):>10s} "
+            f"{res.get('messages', ''):>8}"
+        )
+        if row["status"] != "ok":
+            err = row.get("error") or {}
+            lines.append(
+                f"{'':12s}     ^ {err.get('type', '?')}: "
+                f"{err.get('message', '')}"
+            )
+    lines.append(
+        f"{len(result.rows)} job(s): {result.hits} cache hit(s), "
+        f"{result.misses} ran, {result.faults} fault(s), "
+        f"{result.errors} error(s); wall {result.wall_s:.2f} s "
+        f"(jobs={result.jobs})"
+    )
+    return "\n".join(lines)

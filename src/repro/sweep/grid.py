@@ -1,0 +1,141 @@
+"""Declarative sweep grids: schema, validation, deterministic expansion.
+
+A grid is a JSON-able dict::
+
+    {
+      "name": "three-backend",
+      "axes": {
+        "workload": ["MM-64", "SWIM-32"],
+        "nprocs": [4, 16],
+        "backend": ["vbus", "ethernet100", "gige"]
+      },
+      "defaults": {"granularity": "fine", "execute": false}
+    }
+
+``axes`` values are lists crossed into a full product; ``defaults``
+pins the non-swept fields.  Expansion order is **deterministic**: axes
+are iterated in the fixed :data:`AXIS_KEYS` order (not author order),
+and each axis preserves its listed value order — the job list, and
+therefore the merged output, is a pure function of the grid contents.
+Unknown keys are an error, not a warning: a silently-ignored typo would
+change which configs a sweep covers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Dict, List
+
+from repro.sweep.runner import BACKENDS, GRANULARITIES, parse_workload
+
+__all__ = ["AXIS_KEYS", "SweepConfigError", "expand_grid", "load_grid"]
+
+
+class SweepConfigError(ValueError):
+    """A malformed grid or job config."""
+
+
+#: Recognized config fields, in canonical expansion (= product) order.
+AXIS_KEYS = (
+    "workload",
+    "nprocs",
+    "backend",
+    "granularity",
+    "fast_path",
+    "execute",
+    "faults",
+    "seed",
+)
+
+#: Field defaults applied beneath the grid's own ``defaults``.
+_DEFAULTS = {
+    "nprocs": 4,
+    "backend": "vbus",
+    "granularity": "fine",
+    "fast_path": True,
+    "execute": False,
+    "faults": None,
+    "seed": None,
+}
+
+
+def _check_config(cfg: Dict) -> Dict:
+    """Validate one expanded job config; returns it with sorted keys."""
+    if not isinstance(cfg.get("workload"), str):
+        raise SweepConfigError(f"job needs a workload string, got {cfg!r}")
+    parse_workload(cfg["workload"])  # raises SweepConfigError on bad specs
+    n = cfg["nprocs"]
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        raise SweepConfigError(f"nprocs must be a positive int, got {n!r}")
+    if cfg["backend"] not in BACKENDS:
+        raise SweepConfigError(
+            f"unknown backend {cfg['backend']!r}; use one of {sorted(BACKENDS)}"
+        )
+    if cfg["granularity"] not in GRANULARITIES:
+        raise SweepConfigError(
+            f"unknown granularity {cfg['granularity']!r}; "
+            f"use one of {GRANULARITIES}"
+        )
+    for key in ("fast_path", "execute"):
+        if not isinstance(cfg[key], bool):
+            raise SweepConfigError(f"{key} must be a bool, got {cfg[key]!r}")
+    faults = cfg["faults"]
+    if faults is not None and not isinstance(faults, dict):
+        raise SweepConfigError(
+            f"faults must be null or a fault-plan object, got {faults!r}"
+        )
+    seed = cfg["seed"]
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        raise SweepConfigError(f"seed must be null or an int, got {seed!r}")
+    return {key: cfg[key] for key in AXIS_KEYS}
+
+
+def expand_grid(spec: Dict) -> List[Dict]:
+    """Expand a grid spec into its deterministic job-config list."""
+    if not isinstance(spec, dict):
+        raise SweepConfigError(f"grid must be an object, got {type(spec).__name__}")
+    known_top = {"name", "axes", "defaults"}
+    unknown = set(spec) - known_top
+    if unknown:
+        raise SweepConfigError(f"unknown grid key(s): {sorted(unknown)}")
+    axes = spec.get("axes", {})
+    defaults = spec.get("defaults", {})
+    for section, name in ((axes, "axes"), (defaults, "defaults")):
+        if not isinstance(section, dict):
+            raise SweepConfigError(f"{name} must be an object")
+        bad = set(section) - set(AXIS_KEYS)
+        if bad:
+            raise SweepConfigError(f"unknown {name} key(s): {sorted(bad)}")
+    clash = set(axes) & set(defaults)
+    if clash:
+        raise SweepConfigError(
+            f"key(s) in both axes and defaults: {sorted(clash)}"
+        )
+    for key, values in axes.items():
+        if not isinstance(values, list) or not values:
+            raise SweepConfigError(f"axis {key!r} must be a non-empty list")
+    base = dict(_DEFAULTS)
+    base.update(defaults)
+    if "workload" not in axes and "workload" not in base:
+        raise SweepConfigError("grid needs a workload axis or default")
+
+    swept = [key for key in AXIS_KEYS if key in axes]
+    configs = []
+    for combo in itertools.product(*(axes[key] for key in swept)):
+        cfg = dict(base)
+        cfg.update(zip(swept, combo))
+        configs.append(_check_config(cfg))
+    return configs
+
+
+def load_grid(path: str) -> Dict:
+    """Read a grid spec from a JSON file."""
+    with open(path) as fh:
+        try:
+            spec = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise SweepConfigError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(spec, dict):
+        raise SweepConfigError(f"{path}: grid must be a JSON object")
+    return spec

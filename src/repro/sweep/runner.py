@@ -1,0 +1,182 @@
+"""One sweep job: config in, deterministic result row out.
+
+:func:`run_job` is the unit the engine executes — inline for serial
+sweeps, in a forked worker for ``--jobs N``.  It is a pure function of
+its config: workload sources are parameterized Fortran text, the
+simulator is deterministic, fault plans carry their own seeds, and the
+job's RNG seed is derived from its cache key — so the row a job returns
+is byte-for-byte the same wherever and whenever it runs.  That is what
+makes the content-addressed cache sound and serial/parallel output
+byte-identical.
+
+Outcomes follow the typed-error contract (docs/FAULTS.md): a job ends
+``ok``, ``fault`` (a typed :class:`MpiFaultError` from an injected fault
+plan), or ``error`` (any other exception, recorded by type — including
+:class:`SweepWorkerLost` when the engine loses the worker process
+itself).  No outcome corrupts the sweep: every job yields exactly one
+row.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "GRANULARITIES",
+    "SweepWorkerLost",
+    "parse_workload",
+    "run_job",
+]
+
+
+class SweepWorkerLost(RuntimeError):
+    """The worker process executing a job died (crash, kill, OOM)."""
+
+
+GRANULARITIES = ("fine", "middle", "coarse")
+
+#: Backend name -> ClusterParams preset attribute (resolved lazily so a
+#: forked worker does not pay the import before it needs it).
+BACKENDS = {
+    "vbus": "VBUS_SKWP",
+    "vbus-conventional": "VBUS_CONVENTIONAL",
+    "vbus-wave": "VBUS_WAVE_UNTUNED",
+    "ethernet100": "ETHERNET_100",
+    "gige": "GIGE_SWITCHED",
+}
+
+_WORKLOAD_RE = re.compile(r"^([A-Z]+)(?:-(\d+)(?:x(\d+))?)?$")
+
+
+def parse_workload(spec: str) -> Tuple[str, Optional[int], Optional[int]]:
+    """Split a workload spec like ``MM-256`` or ``JACOBI-64x10``.
+
+    Grammar: ``KIND[-SIZE[xEXTRA]]``.  Kinds: ``MM`` (matrix multiply,
+    SIZE = n), ``SWIM`` (shallow water, SIZE = n, EXTRA = itmax),
+    ``CFFZINIT`` (trig tables, SIZE = m), ``JACOBI`` (SIZE = n, EXTRA =
+    steps), and the test-only ``CRASH`` (kills its worker process — used
+    to pin the engine's lost-worker recovery).
+    """
+    from repro.sweep.grid import SweepConfigError
+
+    m = _WORKLOAD_RE.match(spec or "")
+    if not m:
+        raise SweepConfigError(f"bad workload spec {spec!r}")
+    kind, size, extra = m.group(1), m.group(2), m.group(3)
+    size = int(size) if size is not None else None
+    extra = int(extra) if extra is not None else None
+    if kind == "CRASH":
+        return kind, size, extra
+    if kind not in ("MM", "SWIM", "CFFZINIT", "JACOBI"):
+        raise SweepConfigError(f"unknown workload kind {kind!r} in {spec!r}")
+    if size is None:
+        raise SweepConfigError(f"workload {spec!r} needs a size (e.g. {kind}-64)")
+    return kind, size, extra
+
+
+def _workload_source(spec: str) -> str:
+    kind, size, extra = parse_workload(spec)
+    if kind == "CRASH":
+        # Deterministic worker death, after the fork and inside the job:
+        # the engine must surface this as a typed per-job error without
+        # corrupting the rest of the sweep.
+        os._exit(size if size is not None else 137)
+    from repro.workloads import cffzinit, jacobi, mm, swim
+
+    if kind == "MM":
+        return mm.source(size)
+    if kind == "SWIM":
+        return swim.source(size, itmax=extra if extra is not None else 1)
+    if kind == "CFFZINIT":
+        return cffzinit.source(size)
+    return jacobi.source(n=size, steps=extra if extra is not None else 25)
+
+
+def _cluster_params(config: Dict):
+    from dataclasses import replace
+
+    from repro.vbus import params as P
+
+    base = getattr(P, BACKENDS[config["backend"]])
+    return replace(
+        P.cluster_for(config["nprocs"], base), fast_path=config["fast_path"]
+    )
+
+
+def job_seed(config: Dict, key: str) -> int:
+    """The job's RNG seed: explicit, else derived from its cache key."""
+    if config.get("seed") is not None:
+        return config["seed"]
+    return int(key[:8], 16)
+
+
+def run_job(config: Dict, key: str) -> Dict:
+    """Execute one job config; always returns a deterministic row."""
+    seed = job_seed(config, key)
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a core dependency
+        pass
+
+    row = dict(config)
+    row["key"] = key
+    row["seed"] = seed
+    try:
+        source = _workload_source(config["workload"])
+        from repro.compiler.pipeline import compile_source
+        from repro.faults.plan import FaultPlan
+        from repro.mpi2.exceptions import MpiFaultError
+        from repro.runtime.executor import run_program
+
+        plan = None
+        if config["faults"] is not None:
+            import json
+
+            plan = FaultPlan.from_json(json.dumps(config["faults"]))
+        prog = compile_source(
+            source,
+            nprocs=config["nprocs"],
+            granularity=config["granularity"],
+        )
+        try:
+            report = run_program(
+                prog,
+                cluster_params=_cluster_params(config),
+                execute=config["execute"],
+                faults=plan,
+            )
+        except MpiFaultError as exc:
+            row["status"] = "fault"
+            row["result"] = None
+            row["error"] = {"type": type(exc).__name__, "message": str(exc)}
+            return row
+        row["status"] = "ok"
+        row["result"] = report.to_jsonable()
+        row["error"] = None
+        return row
+    except Exception as exc:  # noqa: BLE001 - typed per-job error row
+        row["status"] = "error"
+        row["result"] = None
+        row["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        return row
+
+
+def worker_lost_row(config: Dict, key: str) -> Dict:
+    """The typed row for a job whose worker process died."""
+    row = dict(config)
+    row["key"] = key
+    row["seed"] = job_seed(config, key)
+    row["status"] = "error"
+    row["result"] = None
+    row["error"] = {
+        "type": SweepWorkerLost.__name__,
+        "message": "worker process died while running this job",
+    }
+    return row

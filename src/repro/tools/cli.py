@@ -9,6 +9,8 @@ Usage::
                                    [--timing] [--arrays A,B]
     python -m repro trace   PROG.f [--nprocs 4] [--timing] [--out PREFIX]
     python -m repro autotune PROG.f [--nprocs 4] [--metric comm]
+    python -m repro sweep   GRID.json [--jobs N] [-o OUT.jsonl]
+                                      [--cache-dir DIR] [--no-cache]
 
 ``trace`` runs with the observability layer attached and writes
 ``PREFIX.trace.json`` (Chrome ``trace_event`` JSON — load it at
@@ -136,6 +138,43 @@ def _build_parser() -> argparse.ArgumentParser:
     pa.add_argument("source")
     pa.add_argument("--nprocs", type=int, default=4)
     pa.add_argument("--metric", choices=METRICS, default="comm")
+
+    ps = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment grid on a process pool "
+        "with a content-addressed result cache (docs/SWEEP.md)",
+    )
+    ps.add_argument("grid", metavar="GRID.json", help="grid spec file")
+    ps.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = run inline; output is byte-identical "
+        "either way)",
+    )
+    ps.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="OUT.jsonl",
+        help="JSONL output path (default: the grid file's stem + .jsonl)",
+    )
+    ps.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: .sweep-cache)",
+    )
+    ps.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the result cache",
+    )
+    ps.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-job progress lines on stderr",
+    )
     return parser
 
 
@@ -225,6 +264,34 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep import SweepConfigError, load_grid, run_sweep
+    from repro.sweep.cache import DEFAULT_CACHE_DIR
+    from repro.sweep.engine import summary_table, write_jsonl
+
+    try:
+        spec = load_grid(args.grid)
+        cache_dir = None if args.no_cache else (
+            args.cache_dir or DEFAULT_CACHE_DIR
+        )
+        progress = None
+        if not args.quiet:
+            progress = lambda msg: print(f"sweep: {msg}", file=sys.stderr)
+        result = run_sweep(
+            spec, jobs=args.jobs, cache_dir=cache_dir, progress=progress
+        )
+    except SweepConfigError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or os.path.splitext(os.path.basename(args.grid))[0] + ".jsonl"
+    write_jsonl(result.rows, out)
+    print(summary_table(result))
+    print(f"wrote {out}")
+    # Per-job faults/errors are rows, not harness failures: the sweep
+    # itself completed, so exit 0 and let callers inspect the statuses.
+    return 0
+
+
 def _cmd_autotune(args) -> int:
     with open(args.source) as fh:
         src = fh.read()
@@ -242,6 +309,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         return _cmd_autotune(args)
     except MpiFaultError as exc:
         print(f"fault: {type(exc).__name__}: {exc}", file=sys.stderr)

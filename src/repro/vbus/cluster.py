@@ -59,6 +59,9 @@ class Cluster:
             self.mesh: Optional[WormholeMesh] = WormholeMesh(
                 sim, self.topology, params.link, self.domain
             )
+            # Batched accounting on: the stepwise unicast may re-prove a
+            # fallen-back leg safe mid-route and promote it (fastpath).
+            self.mesh.fast_path = params.fast_path
             self.ethernet: Optional[EthernetNetwork] = None
             setup = (
                 max(1, self.topology.diameter) * params.link.router_delay_s + 1e-6
@@ -320,6 +323,11 @@ class Cluster:
             out["fast_legs"] = self.mesh.fast_legs
             out["fast_fallbacks"] = self.mesh.fast_fallbacks
             out["fast_demotions"] = self.mesh.fast_demotions
+            out["fast_promotions"] = self.mesh.fast_promotions
+            out["fast_fallback_injector"] = self.mesh.fast_fallback_injector
+            out["fast_fallback_frozen"] = self.mesh.fast_fallback_frozen
+            out["fast_fallback_peek"] = self.mesh.fast_fallback_peek
+            out["fast_fallback_busy"] = self.mesh.fast_fallback_busy
         if self.ethernet is not None:
             out["ether_messages"] = self.ethernet.messages
             out["ether_bytes"] = self.ethernet.bytes

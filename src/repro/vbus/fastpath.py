@@ -25,6 +25,15 @@ Exactness argument (the equivalence suite in
   ``now`` is observationally identical to acquiring it hop by hop.
   Single-hop legs are exempt: their claim point coincides exactly with
   the stepwise acquire.
+* A leg that misses the claim-time proof is not lost: the stepwise
+  path re-attempts the proof at every hop boundary (and once more just
+  before body streaming) via :func:`try_promote`.  The claim point of
+  hop *k* is an event boundary, so the same guard applies to the
+  remaining sub-path — the already-held hops stay held either way, and
+  the promoted remainder uses the identical claim-time float sequence
+  the stepwise loop would have produced.  Promotions are counted in
+  ``mesh.fast_promotions``; claim-time misses are broken down by cause
+  in ``mesh.fast_fallback_{injector,frozen,peek,busy}``.
 * A freeze *can* still land inside the last head hop or the body
   stream (those lie beyond the guard window).  The
   :class:`~repro.vbus.vbusctl.FreezeDomain` keeps a ledger of live fast
@@ -55,7 +64,7 @@ from typing import Callable, List, Optional
 from repro.sim.kernel import Event
 from repro.vbus.flit import flit_count
 
-__all__ = ["start_fast_leg"]
+__all__ = ["start_fast_leg", "try_promote"]
 
 
 class _FastLeg:
@@ -77,18 +86,22 @@ class _FastLeg:
         "at_release",
         "at_tail",
         "done",
+        "span_t0",
         "_release_ev",
         "_tail_ev",
     )
 
     def __init__(self, mesh, channels, hop_starts, body_start, body_s, tail_s,
-                 nbytes, at_release, at_tail):
+                 nbytes, at_release, at_tail, span_t0=None):
         self.mesh = mesh
         self.sim = mesh.sim
         self.domain = mesh.domain
         self.nbytes = nbytes
         self.channels = channels
         self.hop_starts = hop_starts
+        #: Wire-span start for the tracer: injection time.  A promoted leg
+        #: passes the original unicast entry time; a full leg starts now.
+        self.span_t0 = hop_starts[0] if span_t0 is None else span_t0
         self.head_s = mesh.link.router_delay_s
         self.body_start = body_start
         self.body_s = body_s
@@ -128,7 +141,7 @@ class _FastLeg:
             src = self.channels[0].u
             dst = self.channels[-1].v
             tr.span(
-                ("node", src), f"wire {src}->{dst}", self.hop_starts[0],
+                ("node", src), f"wire {src}->{dst}", self.span_t0,
                 args={"bytes": self.nbytes, "hops": len(self.channels)},
             )
             tr.count("mesh.messages")
@@ -204,10 +217,12 @@ def start_fast_leg(
         # per-leg — keeps the contract trivially provable (pinned by
         # tests/test_fastpath_equivalence.py).
         mesh.fast_fallbacks += 1
+        mesh.fast_fallback_injector += 1
         return None
     domain = mesh.domain
     if domain.frozen:
         mesh.fast_fallbacks += 1
+        mesh.fast_fallback_frozen += 1
         return None
     channels = mesh.channel_path(src, dst)
     h = len(channels)
@@ -221,10 +236,12 @@ def start_fast_leg(
         # advancing — claiming the whole path now might steal a channel
         # early.  Only the oracle can order that correctly.
         mesh.fast_fallbacks += 1
+        mesh.fast_fallback_peek += 1
         return None
     for ch in channels:
         if not ch.is_free:
             mesh.fast_fallbacks += 1
+            mesh.fast_fallback_busy += 1
             return None
 
     # Claim the path; per-hop timestamps follow stepwise float arithmetic.
@@ -244,5 +261,73 @@ def start_fast_leg(
     leg = _FastLeg(
         mesh, channels, hop_starts, body_start, body_s, tail_s,
         nbytes, at_release, at_tail,
+    )
+    return leg.done
+
+
+def try_promote(
+    mesh,
+    path,
+    k: int,
+    span_t0: float,
+    nbytes: int,
+    rate_cap_Bps: Optional[float],
+) -> Optional[Event]:
+    """Mid-route promotion: charge the remaining leg analytically.
+
+    Called by the stepwise :meth:`WormholeMesh.unicast` at the hop-``k``
+    claim boundary (``k == len(path)`` means all hops are held and only
+    the body stream remains).  The first ``k`` channels are already held
+    by the caller; if the remaining sub-path passes the same claim-time
+    proof :func:`start_fast_leg` uses — domain thawed, every remaining
+    channel free, and (for 2+ remaining hops) no foreign event inside
+    the head-advance window — the leg takes ownership of the *whole*
+    path and finishes it with two scheduled events.
+
+    Returns the completion event (succeeds at wire end; the caller still
+    owes the receive tail and its own accounting is skipped because the
+    leg performs it) or ``None`` to continue stepwise.  Failed attempts
+    are not re-counted as fallbacks — the injection-time miss already
+    was.
+    """
+    inj = mesh.injector
+    if inj is not None and inj.active:
+        return None
+    domain = mesh.domain
+    if domain.frozen:
+        return None
+    sim = mesh.sim
+    now = sim.now
+    rd = mesh.link.router_delay_s
+    rest = path[k:]
+    r = len(rest)
+    if r > 1 and not (sim.peek() > now + (r - 1) * rd):
+        return None
+    for ch in rest:
+        if not ch.is_free:
+            return None
+
+    # Claim the remainder; hop timestamps follow stepwise float
+    # arithmetic from *this* claim boundary.  ``r == 0`` (body-only) and
+    # ``r == 1`` need no peek guard: the claim point coincides with the
+    # stepwise acquire, and a held path cannot be stolen.
+    hop_starts: List[float] = []
+    t = now
+    for ch in rest:
+        ch.claim(t)
+        hop_starts.append(t)
+        t = t + rd
+    body_start = t
+    rate = mesh.link_rate_Bps
+    if rate_cap_Bps is not None:
+        rate = min(rate, rate_cap_Bps)
+    body_s = nbytes / rate
+
+    mesh.fast_promotions += 1
+    # tail_s=0: the stepwise caller (the NIC) still serves the receive
+    # tail after the wire leg completes, exactly as it would stepwise.
+    leg = _FastLeg(
+        mesh, list(path), hop_starts, body_start, body_s, 0.0,
+        nbytes, None, None, span_t0=span_t0,
     )
     return leg.done

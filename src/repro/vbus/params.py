@@ -26,6 +26,7 @@ __all__ = [
     "VBUS_CONVENTIONAL",
     "VBUS_WAVE_UNTUNED",
     "ETHERNET_100",
+    "GIGE_SWITCHED",
 ]
 
 #: Valid link pipelining modes.
@@ -121,7 +122,7 @@ class CpuParams:
 
 @dataclass(frozen=True)
 class EthernetParams:
-    """Fast Ethernet baseline (shared medium, kernel networking stack)."""
+    """Ethernet interconnect (shared medium or switched, kernel stack)."""
 
     rate_Bps: float = 12.5e6  # 100 Mb/s
     #: Kernel TCP/UDP stack latency per message, each side.
@@ -130,6 +131,13 @@ class EthernetParams:
     min_frame_s: float = 6.7e-6
     #: Maximum payload per frame.
     mtu_bytes: int = 1500
+    #: Per-port full-duplex switched fabric instead of the single shared
+    #: segment: messages occupy only their source and destination ports
+    #: (store-and-forward), so disjoint pairs communicate concurrently.
+    switched: bool = False
+    #: Switch forwarding-decision latency per message (store-and-forward
+    #: buffering itself is modeled by occupying both ports in turn).
+    switch_latency_s: float = 5e-6
 
 
 @dataclass(frozen=True)
@@ -206,3 +214,20 @@ VBUS_WAVE_UNTUNED = ClusterParams(link=LinkParams(mode="wave"))
 
 #: Fast-Ethernet-connected cluster of the same PCs (baseline).
 ETHERNET_100 = ClusterParams(network="ethernet", vbus_broadcast=False)
+
+#: Modeled switched Gigabit Ethernet: per-port full duplex, 1 Gb/s line
+#: rate, store-and-forward switch.  The kernel networking stack still
+#: bounds small-message latency — the crossover the APEnet+/Beowulf
+#: mesh-vs-switched comparisons frame (see EXPERIMENTS.md).
+GIGE_SWITCHED = ClusterParams(
+    network="ethernet",
+    vbus_broadcast=False,
+    ethernet=EthernetParams(
+        rate_Bps=125e6,  # 1 Gb/s
+        sw_latency_s=18e-6,
+        min_frame_s=0.672e-6,
+        mtu_bytes=1500,
+        switched=True,
+        switch_latency_s=5e-6,
+    ),
+)

@@ -21,10 +21,11 @@ DOC_FILES = (
     ROOT / "docs" / "TRACE_FORMAT.md",
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "FAULTS.md",
+    ROOT / "docs" / "SWEEP.md",
 )
 
 #: Snippets matching any of these substrings get the ``slow`` marker.
-_SLOW_HINTS = ("source(256)",)
+_SLOW_HINTS = ("source(256)", "three_backend")
 
 #: bash lines that are environment setup, not runnable examples.
 _SKIP_PREFIXES = ("pip ", "pytest ", "#")
@@ -76,7 +77,17 @@ def _bash_cases():
                 line = line.replace(
                     "examples/", str(ROOT / "examples") + "/"
                 )
-                yield pytest.param(line, id=f"{path.name}-bash-{i}.{j}")
+                line = line.replace(
+                    "benchmarks/", str(ROOT / "benchmarks") + "/"
+                )
+                marks = (
+                    [pytest.mark.slow]
+                    if any(h in line for h in _SLOW_HINTS)
+                    else []
+                )
+                yield pytest.param(
+                    line, id=f"{path.name}-bash-{i}.{j}", marks=marks
+                )
 
 
 @pytest.mark.parametrize("block", _python_cases())

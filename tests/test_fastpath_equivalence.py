@@ -17,7 +17,8 @@ from repro.vbus.cluster import Cluster
 from repro.vbus.params import VBUS_SKWP
 
 #: Keys that only exist (or only count) on the fast path.
-_FAST_KEYS = ("fast_legs", "fast_fallbacks", "fast_demotions")
+def _is_fast_key(key):
+    return key.startswith("fast_")
 
 
 def _params(rows, cols, fast):
@@ -25,7 +26,7 @@ def _params(rows, cols, fast):
 
 
 def _snapshot(cluster, records):
-    stats = {k: v for k, v in cluster.stats().items() if k not in _FAST_KEYS}
+    stats = {k: v for k, v in cluster.stats().items() if not _is_fast_key(k)}
     channels = {
         key: (ch.messages, ch.busy_s)
         for key, ch in cluster.mesh.channels.items()
@@ -230,8 +231,8 @@ def test_program_equivalence_mm(granularity):
         prog, cluster_params=_params(2, 2, True), execute=False
     )
     assert fast.total_s == slow.total_s
-    fast_hw = {k: v for k, v in fast.hw.items() if k not in _FAST_KEYS}
-    slow_hw = {k: v for k, v in slow.hw.items() if k not in _FAST_KEYS}
+    fast_hw = {k: v for k, v in fast.hw.items() if not _is_fast_key(k)}
+    slow_hw = {k: v for k, v in slow.hw.items() if not _is_fast_key(k)}
     assert fast_hw == slow_hw
 
 

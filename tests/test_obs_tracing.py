@@ -31,7 +31,8 @@ from repro.vbus.stats import cluster_metrics_rows
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 #: Keys that only exist (or only count) on the fast path.
-_FAST_KEYS = ("fast_legs", "fast_fallbacks", "fast_demotions")
+def _is_fast_key(key):
+    return key.startswith("fast_")
 
 
 def _params(fast: bool, trace: bool, mesh=(2, 2)):
@@ -62,7 +63,7 @@ def _run(params, scenario):
         "now": sim.now,
         "records": sorted(records),
         "stats": {
-            k: v for k, v in cluster.stats().items() if k not in _FAST_KEYS
+            k: v for k, v in cluster.stats().items() if not _is_fast_key(k)
         },
         "channels": {
             key: (ch.messages, ch.busy_s)
