@@ -23,11 +23,18 @@ The script also runs the grid serially into its own cold cache and
 asserts the serial and ``--jobs 4`` JSONL outputs are **byte-identical**
 (the sweep determinism contract, docs/SWEEP.md).
 
+A second phase benchmarks the **per-region autotuner** (docs/AUTOTUNE.md)
+against the 3-recompile global tuner it replaces: for each cell the
+global baseline compiles and profiles all three grains cold, then the
+pruned per-region search runs cold (analytic model + targeted profiles)
+and warm (plan-cache hit).  The tuned plan's comm metric is asserted
+never to lose to the best global grain.
+
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--quick] [-o OUT]
 
-Results are written to ``BENCH_PR6.json`` at the repository root.
+Results are written to ``BENCH_PR7.json`` at the repository root.
 """
 
 from __future__ import annotations
@@ -50,6 +57,18 @@ from repro.workloads import cffzinit, mm, swim
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 NPROCS = (4, 16)
+
+#: (workload spec, backend) cells for the autotuner phase.  All on
+#: switched GigE, where per-message latency vs redundant bytes is the
+#: live trade-off (EXPERIMENTS.md); XOVER is the mixed-plan cell.
+AUTOTUNE_CELLS = (
+    ("XOVER-256", "gige"),
+    ("MM-256", "gige"),
+    ("SWIM-64x2", "gige"),
+)
+
+#: Required tuner-vs-baseline wall-clock ratio (suite-level, cold).
+AUTOTUNE_RATIO_TARGET = 0.7
 
 
 def _workloads(quick: bool):
@@ -158,12 +177,93 @@ def _timed_sweep(grid, *, jobs, cache_dir):
     return result, time.perf_counter() - t0
 
 
+def _autotune_suite(quick: bool):
+    """Per-region pruned search vs the 3-recompile global baseline."""
+    from repro.sweep.runner import BACKENDS
+    from repro.tools.autotune import choose_granularity
+    from repro.tools.tuneplan import tune_per_region
+    from repro.vbus import params as P
+    from repro.workloads import source_for
+
+    cells = AUTOTUNE_CELLS[:2] if quick else AUTOTUNE_CELLS
+    rows = []
+    baseline_total = tuned_total = 0.0
+    cache = tempfile.mkdtemp(prefix="bench-tuneplan-")
+    try:
+        for spec, backend in cells:
+            source = source_for(spec)
+            params = cluster_for(4, getattr(P, BACKENDS[backend]))
+
+            _clear_analysis_caches()
+            t0 = time.perf_counter()
+            rep = choose_granularity(
+                source, nprocs=4, metric="comm", cluster_params=params
+            )
+            baseline_s = time.perf_counter() - t0
+
+            _clear_analysis_caches()
+            t1 = time.perf_counter()
+            plan = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=cache,
+            )
+            tuned_s = time.perf_counter() - t1
+
+            t2 = time.perf_counter()
+            warm = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=cache,
+            )
+            warm_s = time.perf_counter() - t2
+            if not warm.cached:
+                raise SystemExit(f"{spec}/{backend}: warm plan-cache miss")
+
+            mixed_prog = compile_source(source, options=plan.options())
+            tuned_comm = run_program(
+                mixed_prog, cluster_params=params, execute=False
+            ).comm_max_s
+            best_global = min(rep.values.values())
+            if tuned_comm > best_global:
+                raise SystemExit(
+                    f"{spec}/{backend}: tuned plan loses to best global "
+                    f"({tuned_comm} > {best_global})"
+                )
+
+            baseline_total += baseline_s
+            tuned_total += tuned_s
+            ratio = tuned_s / baseline_s
+            rows.append({
+                "workload": spec,
+                "backend": backend,
+                "baseline_3recompile_s": round(baseline_s, 4),
+                "tuner_cold_s": round(tuned_s, 4),
+                "tuner_warm_s": round(warm_s, 4),
+                "ratio": round(ratio, 3),
+                "profile_runs": plan.profiles,
+                "mixed": plan.mixed,
+                "tuned_comm_s": tuned_comm,
+                "best_global_comm_s": best_global,
+                "strict_win": tuned_comm < best_global,
+            })
+            print(
+                f"{spec:12s} {backend:6s} baseline {baseline_s:6.3f}s  "
+                f"tuner {tuned_s:6.3f}s ({ratio:4.2f}x)  "
+                f"warm {warm_s * 1e3:6.1f}ms  "
+                f"profiles {plan.profiles}  "
+                f"{'mixed' if plan.mixed else 'uniform'}"
+                f"{' STRICT WIN' if tuned_comm < best_global else ''}"
+            )
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    return rows, baseline_total, tuned_total
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="skip the MM-1024 scale (CI smoke run)")
     ap.add_argument("-o", "--output",
-                    default=os.path.join(ROOT, "BENCH_PR6.json"))
+                    default=os.path.join(ROOT, "BENCH_PR7.json"))
     args = ap.parse_args(argv)
 
     print("== legacy serial harness (per-config cold-cache re-baselining) ==")
@@ -203,6 +303,13 @@ def main(argv=None) -> int:
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
+    print("\n== per-region autotuner vs 3-recompile global baseline ==")
+    tune_rows, tune_baseline_s, tune_cold_s = _autotune_suite(args.quick)
+    tune_ratio = tune_cold_s / tune_baseline_s
+    print(f"autotune suite: baseline {tune_baseline_s:.3f}s, "
+          f"pruned tuner {tune_cold_s:.3f}s "
+          f"({tune_ratio:.2f}x, target <= {AUTOTUNE_RATIO_TARGET}x)")
+
     cold_speedup = legacy_s / jobs4_s
     warm_speedup = legacy_s / warm_s
     print(f"sweep serial cold : {serial_s:7.3f}s")
@@ -238,6 +345,19 @@ def main(argv=None) -> int:
                      "stepwise re-baselining and from cache hits, not "
                      "core-level parallelism"),
         },
+        "autotune": {
+            "baseline": ("global tuner: compile + timing-mode profile at "
+                         "all three grains, cold caches"),
+            "tuner": ("per-region pruned search (docs/AUTOTUNE.md): "
+                      "analytic cost model + targeted instrumented "
+                      "profiles, plan cache cold"),
+            "cells": len(tune_rows),
+            "baseline_s": round(tune_baseline_s, 4),
+            "tuner_cold_s": round(tune_cold_s, 4),
+            "ratio": round(tune_ratio, 3),
+            "ratio_target": AUTOTUNE_RATIO_TARGET,
+            "rows": tune_rows,
+        },
         "rows": rows,
     }
     with open(args.output, "w") as fh:
@@ -261,6 +381,10 @@ def main(argv=None) -> int:
             print(f"WARNING: sweep warm speedup {warm_speedup:.2f}x "
                   "below the 10x target")
             rc = 1
+    if tune_ratio > AUTOTUNE_RATIO_TARGET:
+        print(f"WARNING: autotune ratio {tune_ratio:.2f}x above the "
+              f"{AUTOTUNE_RATIO_TARGET}x target")
+        rc = 1
     return rc
 
 

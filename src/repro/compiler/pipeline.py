@@ -48,9 +48,12 @@ class CompileOptions:
     """Knobs of the MPI-2 postpass.
 
     ``granularity`` selects the §5.6 communication grain (the paper leaves
-    the choice to the user); ``live_out=None`` treats every array as
-    observable at program end (AVPG dead-array elimination off — the safe
-    default), while an explicit set enables it.
+    the choice to the user); ``grain_map`` overrides it per parallel
+    region (``{region_id: grain}`` — a mixed-grain plan, typically
+    produced by the per-region autotuner, docs/AUTOTUNE.md); regions not
+    named fall back to ``granularity``.  ``live_out=None`` treats every
+    array as observable at program end (AVPG dead-array elimination off —
+    the safe default), while an explicit set enables it.
     """
 
     nprocs: int = 4
@@ -61,6 +64,10 @@ class CompileOptions:
     #: Disable the AVPG redundancy eliminations (ablation): every region
     #: re-scatters its full read regions and collects all writes.
     avpg: bool = True
+    #: Per-region grain overrides: a mapping (or pair iterable)
+    #: region_id -> grain, canonicalized to a sorted tuple of pairs so
+    #: the options object stays hashable (the compile cache keys on it).
+    grain_map: Optional[Tuple[Tuple[int, str], ...]] = None
 
     def __post_init__(self):
         if self.nprocs < 1:
@@ -73,6 +80,42 @@ class CompileOptions:
             raise ValueError(f"bad partition strategy {self.partition!r}")
         if self.live_out is not None:
             object.__setattr__(self, "live_out", frozenset(self.live_out))
+        if self.grain_map is not None:
+            items = (
+                self.grain_map.items()
+                if hasattr(self.grain_map, "items")
+                else self.grain_map
+            )
+            canon = []
+            for rid, grain in items:
+                rid = int(rid)
+                if rid < 0:
+                    raise ValueError(f"grain_map region id {rid} is negative")
+                if grain not in GRAINS:
+                    raise ValueError(
+                        f"grain_map[{rid}] must be one of {GRAINS}, "
+                        f"got {grain!r}"
+                    )
+                canon.append((rid, grain))
+            canon.sort()
+            for (a, _), (b, _) in zip(canon, canon[1:]):
+                if a == b:
+                    raise ValueError(f"grain_map names region {a} twice")
+            object.__setattr__(
+                self, "grain_map", tuple(canon) if canon else None
+            )
+
+    def grain_for(self, region_id: int) -> str:
+        """The effective grain of one parallel region."""
+        if self.grain_map:
+            for rid, grain in self.grain_map:
+                if rid == region_id:
+                    return grain
+        return self.granularity
+
+    @property
+    def mixed_grain(self) -> bool:
+        return bool(self.grain_map)
 
 
 def compile_source(

@@ -73,6 +73,7 @@ def run_postpass(unit: F.Unit, options) -> SpmdProgram:
             partition_strategy=options.partition,
             live_out=options.live_out,
             use_avpg=options.avpg,
+            grain_map=dict(getattr(options, "grain_map", None) or ()),
         )
         try:
             plans = planner.plan()

@@ -224,15 +224,21 @@ class CommPlanner:
         partition_strategy: str = "auto",
         live_out: Optional[Set[str]] = None,
         use_avpg: bool = True,
+        grain_map: Optional[Dict[int, str]] = None,
     ):
         if grain not in GRAINS:
             raise PlanError(f"unknown granularity {grain!r}")
+        for rid, g in (grain_map or {}).items():
+            if g not in GRAINS:
+                raise PlanError(f"unknown granularity {g!r} for region {rid}")
         self.use_avpg = use_avpg
         self.symtab = symtab
         self.regions = regions
         self.env = env
         self.nprocs = nprocs
         self.grain = grain
+        #: Per-region grain overrides (mixed-grain plans, docs/AUTOTUNE.md).
+        self.grain_map: Dict[int, str] = dict(grain_map or {})
         self.partition_strategy = partition_strategy
         self.avpg: Avpg = build_avpg(regions, symtab, live_out)
         #: (array) -> (nprocs, size) validity mask: slave copy current?
@@ -344,6 +350,7 @@ class CommPlanner:
             return
 
         per_rank = self._rank_regions(loop, partition, region_summary)
+        region_grain = self.grain_map.get(region.region_id, self.grain)
 
         for name, arr in sorted(region_summary.arrays.items()):
             cls = arr.classification
@@ -351,7 +358,7 @@ class CommPlanner:
                 array=name,
                 itemsize=self.env.itemsize.get(name, 8),
                 classification=cls,
-                grain=self.grain,
+                grain=region_grain,
             )
             plan.arrays[name] = aplan
             size = self.env.sizes[name]
@@ -489,9 +496,9 @@ class CommPlanner:
             if info.read_lmads:
                 transfers: List[Transfer] = []
                 for l in info.read_lmads:
-                    transfers.extend(plan_transfers(l, self.grain))
+                    transfers.extend(plan_transfers(l, aplan.grain))
             else:  # pragma: no cover - reads always have lmads
-                transfers = _mask_to_transfers(info.read_mask, self.grain)
+                transfers = _mask_to_transfers(info.read_mask, aplan.grain)
             aplan.scatter[r] = transfers
             scattered[r] = _transfers_mask(transfers, size)
 
@@ -534,7 +541,7 @@ class CommPlanner:
                         "overlapping regions in a parallel loop"
                     )
 
-        grain = self.grain
+        grain = aplan.grain
         transfers_by_rank = self._collect_transfers(ranks_info, grain)
         demote_reason = self._collect_safety(
             aplan.array, ranks_info, transfers_by_rank, scattered, size

@@ -26,10 +26,13 @@ from repro.obs.export import (
     write_metrics_json,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.rollup import RegionRollup, region_rollup
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "Tracer",
+    "RegionRollup",
+    "region_rollup",
     "Counter",
     "Gauge",
     "Histogram",

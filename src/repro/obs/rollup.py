@@ -1,0 +1,189 @@
+"""Region-attributed rollups of one traced run.
+
+The tracer records flat span streams per track; the per-region autotuner
+(docs/AUTOTUNE.md) needs them *attributed to parallel regions*: how much
+fence-wait, MPI-call, DMA-vs-PIO, and channel-occupancy time each region
+of the program was responsible for.  The executor already emits a
+``par-region <id>`` span on every rank's track around each parallel
+region, and regions are barrier-delimited — so every other span can be
+assigned to the region whose interval contains its start time:
+
+* ``("rank", r)`` spans (MPI calls, fences, compute) are matched against
+  rank *r*'s own region intervals;
+* ``("node", n)`` spans (``dma send`` / ``pio send``) use node *n*'s rank
+  intervals (node index == rank index);
+* ``("chan", ...)`` spans use the master's intervals (channels are a
+  shared resource; the master's region phase is the cluster's phase).
+
+Attribution is a profiling heuristic, not an accounting identity: spans
+that straddle a region boundary (there are none in a healthy run — the
+closing fence is inside the region span) go to the region that started
+them, and spans outside any region interval are dropped.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["region_rollup", "RegionRollup", "FENCE_SPANS"]
+
+#: Rank-track span names that count as synchronization waiting.
+FENCE_SPANS = frozenset({"win-drain", "MPI_Win_fence", "MPI_Barrier"})
+
+#: Rank-track span names that are not MPI communication calls.
+_NON_MPI = frozenset({"compute"})
+
+_REGION_PREFIX = "par-region "
+
+
+class RegionRollup(dict):
+    """Per-region attributed times (a dict with named accessors).
+
+    Keys: ``visits``, ``elapsed_s`` (master-observed region time),
+    ``mpi_s`` (all ranks' in-region MPI span time), ``mpi_max_s``
+    (busiest single rank), ``fence_s``/``fence_max_s`` (the win-drain /
+    fence / barrier subset), ``dma_s``, ``pio_s``, ``dma_bytes``,
+    ``pio_bytes``, ``nic_cpu_s``, ``chan_busy_s``.
+    """
+
+    FIELDS = (
+        "visits",
+        "elapsed_s",
+        "mpi_s",
+        "mpi_max_s",
+        "fence_s",
+        "fence_max_s",
+        "dma_s",
+        "pio_s",
+        "dma_bytes",
+        "pio_bytes",
+        "nic_cpu_s",
+        "chan_busy_s",
+    )
+
+    def __init__(self):
+        super().__init__((f, 0.0) for f in self.FIELDS)
+
+    def __getattr__(self, name):
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class _Intervals:
+    """Sorted (t0, t1, region_id) intervals with bisect lookup."""
+
+    def __init__(self, spans: List[tuple]):
+        ivs: List[Tuple[float, float, int]] = []
+        for _track, name, t0, dur, _args in spans:
+            if name.startswith(_REGION_PREFIX):
+                ivs.append((t0, t0 + dur, int(name[len(_REGION_PREFIX):])))
+        ivs.sort()
+        self._starts = [iv[0] for iv in ivs]
+        self._ivs = ivs
+
+    def find(self, t: float) -> Optional[int]:
+        i = bisect_right(self._starts, t) - 1
+        if i < 0:
+            return None
+        t0, t1, rid = self._ivs[i]
+        # Closing-boundary spans (the fence that ends a region) start
+        # exactly at t1 of nothing — a region's own spans start in
+        # [t0, t1); accept t == t1 too so zero-width tails still land.
+        if t0 <= t <= t1:
+            return rid
+        return None
+
+
+def region_rollup(tracer) -> Dict[int, RegionRollup]:
+    """Attribute a traced run's spans to its parallel regions.
+
+    Returns ``{region_id: RegionRollup}`` for every parallel region that
+    appeared on the master's timeline.  ``tracer`` is a
+    :class:`repro.obs.Tracer` (e.g. ``RunReport.trace``).
+    """
+    by_rank: Dict[int, List[tuple]] = {}
+    chan_spans: List[tuple] = []
+    node_spans: Dict[int, List[tuple]] = {}
+    for span in tracer.spans:
+        track = span[0]
+        group, key = track
+        if group == "rank":
+            by_rank.setdefault(key, []).append(span)
+        elif group == "node":
+            node_spans.setdefault(key, []).append(span)
+        elif group == "chan":
+            chan_spans.append(span)
+
+    rank_ivs = {r: _Intervals(spans) for r, spans in by_rank.items()}
+    master_ivs = rank_ivs.get(0)
+    out: Dict[int, RegionRollup] = {}
+    if master_ivs is None:
+        return out
+
+    def cell(rid: int) -> RegionRollup:
+        ru = out.get(rid)
+        if ru is None:
+            ru = out[rid] = RegionRollup()
+        return ru
+
+    # Region visits + elapsed, from the master's own region spans.
+    for _t, name, t0, dur, _a in by_rank.get(0, ()):
+        if name.startswith(_REGION_PREFIX):
+            ru = cell(int(name[len(_REGION_PREFIX):]))
+            ru["visits"] += 1
+            ru["elapsed_s"] += dur
+
+    # Rank-track MPI/fence time, per region per rank; keep the busiest
+    # rank's share for the comm-metric flavour the tuner optimizes.
+    per_rank_mpi: Dict[Tuple[int, int], float] = {}
+    per_rank_fence: Dict[Tuple[int, int], float] = {}
+    for r, spans in by_rank.items():
+        ivs = rank_ivs[r]
+        for _t, name, t0, dur, _a in spans:
+            if name.startswith(_REGION_PREFIX) or name in _NON_MPI:
+                continue
+            rid = ivs.find(t0)
+            if rid is None:
+                continue
+            ru = cell(rid)
+            ru["mpi_s"] += dur
+            per_rank_mpi[(rid, r)] = per_rank_mpi.get((rid, r), 0.0) + dur
+            if name in FENCE_SPANS:
+                ru["fence_s"] += dur
+                per_rank_fence[(rid, r)] = (
+                    per_rank_fence.get((rid, r), 0.0) + dur
+                )
+    for (rid, _r), s in per_rank_mpi.items():
+        ru = cell(rid)
+        ru["mpi_max_s"] = max(ru["mpi_max_s"], s)
+    for (rid, _r), s in per_rank_fence.items():
+        ru = cell(rid)
+        ru["fence_max_s"] = max(ru["fence_max_s"], s)
+
+    # NIC activity: the DMA/PIO mix per region.
+    for n, spans in node_spans.items():
+        ivs = rank_ivs.get(n, master_ivs)
+        for _t, name, t0, dur, args in spans:
+            rid = ivs.find(t0)
+            if rid is None:
+                continue
+            ru = cell(rid)
+            nbytes = float((args or {}).get("bytes", 0))
+            ru["nic_cpu_s"] += float((args or {}).get("cpu_s", 0.0))
+            if name.startswith("dma"):
+                ru["dma_s"] += dur
+                ru["dma_bytes"] += nbytes
+            elif name.startswith("pio"):
+                ru["pio_s"] += dur
+                ru["pio_bytes"] += nbytes
+
+    # Channel occupancy (hotspots) against the master's phase.
+    for _t, _name, t0, dur, _a in chan_spans:
+        rid = master_ivs.find(t0)
+        if rid is not None:
+            cell(rid)["chan_busy_s"] += dur
+
+    return out

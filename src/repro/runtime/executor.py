@@ -310,9 +310,11 @@ class _Execution:
     # -- reporting --------------------------------------------------------
     def report(self) -> RunReport:
         program = self.program
+        grain_map = dict(program.options.grain_map or ())
         rep = RunReport(
             nprocs=program.nprocs,
-            granularity=program.options.granularity,
+            granularity="mixed" if grain_map else program.options.granularity,
+            grain_map=grain_map,
             total_s=self.sim.now,
         )
         for r in range(program.nprocs):

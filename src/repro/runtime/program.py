@@ -42,10 +42,21 @@ class SpmdProgram:
 
         return [r for r in iter_regions(self.regions) if isinstance(r, ParRegion)]
 
+    def grain_of(self, region_id: int) -> str:
+        """The effective communication grain of one parallel region."""
+        return self.options.grain_for(region_id)
+
     def summary(self) -> str:
+        if self.options.mixed_grain:
+            gm = dict(self.options.grain_map)
+            grain_desc = "mixed (" + ", ".join(
+                f"{rid}:{g}" for rid, g in sorted(gm.items())
+            ) + f"; default {self.options.granularity})"
+        else:
+            grain_desc = self.options.granularity
         lines = [
             f"SPMD program {self.unit.name}: nprocs={self.nprocs}, "
-            f"granularity={self.options.granularity}",
+            f"granularity={grain_desc}",
             f"windows: {', '.join(self.env.window_arrays) or '(none)'}",
             f"parallel regions: {len(self.parallel_regions())}",
         ]

@@ -14,6 +14,9 @@ class RunReport:
 
     nprocs: int
     granularity: str
+    #: Per-region grain overrides the program was compiled with (empty for
+    #: single-grain runs; ``granularity`` reads ``"mixed"`` when set).
+    grain_map: Dict[int, str] = field(default_factory=dict)
     #: Simulated wall-clock of the whole program (seconds).
     total_s: float = 0.0
     #: Per-rank compute seconds (interpreter bursts).
@@ -89,7 +92,7 @@ class RunReport:
         bytes (the property the sweep cache and the serial-vs-parallel
         byte-identity contract rely on).
         """
-        return {
+        out = {
             "nprocs": self.nprocs,
             "granularity": self.granularity,
             "simulated_s": self.total_s,
@@ -108,6 +111,13 @@ class RunReport:
             "stdout": list(self.stdout),
             "array_digest": self.array_digest(),
         }
+        # Only present for mixed-grain runs, so single-grain rows (and the
+        # committed sweep results that contain them) keep their exact bytes.
+        if self.grain_map:
+            out["grain_map"] = {
+                str(rid): self.grain_map[rid] for rid in sorted(self.grain_map)
+            }
+        return out
 
     def array_digest(self) -> Optional[str]:
         """SHA-256 over the master's arrays (name, dtype, shape, bytes).
@@ -137,8 +147,13 @@ class RunReport:
         return sequential_s / self.total_s
 
     def summary(self) -> str:
+        grain = self.granularity
+        if self.grain_map:
+            grain += " (" + ", ".join(
+                f"{rid}:{self.grain_map[rid]}" for rid in sorted(self.grain_map)
+            ) + ")"
         lines = [
-            f"run: {self.nprocs} rank(s), granularity={self.granularity}",
+            f"run: {self.nprocs} rank(s), granularity={grain}",
             f"  total time        : {self.total_s * 1e3:10.3f} ms",
             f"  compute (max rank): {self.compute_max_s * 1e3:10.3f} ms",
             f"  comm    (max rank): {self.comm_max_s * 1e3:10.3f} ms",

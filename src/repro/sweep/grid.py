@@ -42,6 +42,7 @@ AXIS_KEYS = (
     "nprocs",
     "backend",
     "granularity",
+    "tune_plan",
     "fast_path",
     "execute",
     "faults",
@@ -53,6 +54,7 @@ _DEFAULTS = {
     "nprocs": 4,
     "backend": "vbus",
     "granularity": "fine",
+    "tune_plan": None,
     "fast_path": True,
     "execute": False,
     "faults": None,
@@ -85,10 +87,29 @@ def _check_config(cfg: Dict) -> Dict:
         raise SweepConfigError(
             f"faults must be null or a fault-plan object, got {faults!r}"
         )
+    tune_plan = cfg["tune_plan"]
+    if tune_plan is not None:
+        if not isinstance(tune_plan, dict) or not tune_plan:
+            raise SweepConfigError(
+                "tune_plan must be null or a non-empty region->grain "
+                f"object (a TunePlan grain_map), got {tune_plan!r}"
+            )
+        for rid, grain in tune_plan.items():
+            if not str(rid).isdigit() or grain not in GRANULARITIES:
+                raise SweepConfigError(
+                    f"bad tune_plan entry {rid!r}: {grain!r} (want "
+                    f"region-id -> one of {GRANULARITIES})"
+                )
     seed = cfg["seed"]
     if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
         raise SweepConfigError(f"seed must be null or an int, got {seed!r}")
-    return {key: cfg[key] for key in AXIS_KEYS}
+    # ``tune_plan`` entered the schema after PR 6; omit it when unset so
+    # pre-existing configs keep their exact cache keys and row bytes.
+    return {
+        key: cfg[key]
+        for key in AXIS_KEYS
+        if not (key == "tune_plan" and cfg[key] is None)
+    }
 
 
 def expand_grid(spec: Dict) -> List[Dict]:

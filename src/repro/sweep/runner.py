@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import os
 import random
-import re
 from typing import Dict, Optional, Tuple
 
 __all__ = [
@@ -49,51 +48,33 @@ BACKENDS = {
     "gige": "GIGE_SWITCHED",
 }
 
-_WORKLOAD_RE = re.compile(r"^([A-Z]+)(?:-(\d+)(?:x(\d+))?)?$")
-
-
 def parse_workload(spec: str) -> Tuple[str, Optional[int], Optional[int]]:
     """Split a workload spec like ``MM-256`` or ``JACOBI-64x10``.
 
-    Grammar: ``KIND[-SIZE[xEXTRA]]``.  Kinds: ``MM`` (matrix multiply,
-    SIZE = n), ``SWIM`` (shallow water, SIZE = n, EXTRA = itmax),
-    ``CFFZINIT`` (trig tables, SIZE = m), ``JACOBI`` (SIZE = n, EXTRA =
-    steps), and the test-only ``CRASH`` (kills its worker process — used
-    to pin the engine's lost-worker recovery).
+    The grammar is owned by :mod:`repro.workloads` (shared with the
+    autotuner and the benchmark tools); this wrapper converts its
+    :class:`~repro.workloads.WorkloadSpecError` into the sweep's own
+    :class:`~repro.sweep.grid.SweepConfigError`.
     """
     from repro.sweep.grid import SweepConfigError
+    from repro.workloads import WorkloadSpecError, parse_spec
 
-    m = _WORKLOAD_RE.match(spec or "")
-    if not m:
-        raise SweepConfigError(f"bad workload spec {spec!r}")
-    kind, size, extra = m.group(1), m.group(2), m.group(3)
-    size = int(size) if size is not None else None
-    extra = int(extra) if extra is not None else None
-    if kind == "CRASH":
-        return kind, size, extra
-    if kind not in ("MM", "SWIM", "CFFZINIT", "JACOBI"):
-        raise SweepConfigError(f"unknown workload kind {kind!r} in {spec!r}")
-    if size is None:
-        raise SweepConfigError(f"workload {spec!r} needs a size (e.g. {kind}-64)")
-    return kind, size, extra
+    try:
+        return parse_spec(spec)
+    except WorkloadSpecError as exc:
+        raise SweepConfigError(str(exc)) from exc
 
 
 def _workload_source(spec: str) -> str:
-    kind, size, extra = parse_workload(spec)
+    kind, size, _extra = parse_workload(spec)
     if kind == "CRASH":
         # Deterministic worker death, after the fork and inside the job:
         # the engine must surface this as a typed per-job error without
         # corrupting the rest of the sweep.
         os._exit(size if size is not None else 137)
-    from repro.workloads import cffzinit, jacobi, mm, swim
+    from repro.workloads import source_for
 
-    if kind == "MM":
-        return mm.source(size)
-    if kind == "SWIM":
-        return swim.source(size, itmax=extra if extra is not None else 1)
-    if kind == "CFFZINIT":
-        return cffzinit.source(size)
-    return jacobi.source(n=size, steps=extra if extra is not None else 25)
+    return source_for(spec)
 
 
 def _cluster_params(config: Dict):
@@ -140,11 +121,27 @@ def run_job(config: Dict, key: str) -> Dict:
             import json
 
             plan = FaultPlan.from_json(json.dumps(config["faults"]))
-        prog = compile_source(
-            source,
-            nprocs=config["nprocs"],
-            granularity=config["granularity"],
-        )
+        grain_map = config.get("tune_plan") or None
+        if grain_map:
+            # A mixed-grain plan (the ``grain_map`` of a TunePlan JSON
+            # artifact, docs/AUTOTUNE.md): region-id -> grain overrides
+            # on top of the job's base granularity.
+            from repro.compiler.pipeline import CompileOptions
+
+            prog = compile_source(
+                source,
+                options=CompileOptions(
+                    nprocs=config["nprocs"],
+                    granularity=config["granularity"],
+                    grain_map={int(k): v for k, v in grain_map.items()},
+                ),
+            )
+        else:
+            prog = compile_source(
+                source,
+                nprocs=config["nprocs"],
+                granularity=config["granularity"],
+            )
         try:
             report = run_program(
                 prog,

@@ -1,6 +1,14 @@
-"""User-facing tools built on the library: the granularity auto-tuner
-(the paper's §5.6 future work) and the command-line driver."""
+"""User-facing tools built on the library: the global granularity
+auto-tuner (the paper's §5.6 future work), the trace-driven per-region
+tuner (docs/AUTOTUNE.md), and the command-line driver."""
 
 from repro.tools.autotune import GranularityReport, choose_granularity
+from repro.tools.tuneplan import RegionDecision, TunePlan, tune_per_region
 
-__all__ = ["GranularityReport", "choose_granularity"]
+__all__ = [
+    "GranularityReport",
+    "choose_granularity",
+    "RegionDecision",
+    "TunePlan",
+    "tune_per_region",
+]

@@ -8,6 +8,15 @@ automated: it compiles the program at every granularity, profiles each
 variant in timing mode (the full communication schedule with analytic
 compute costs, so even 1024² problems profile in seconds), and selects
 the granularity that minimizes the chosen communication metric.
+
+Near-ties go to the plan that moves **fewer messages**: when two grains
+sit within ``epsilon`` (relative) of each other, the measured gap is
+inside the model's noise floor, and fewer transfers means less per-rank
+software overhead on any real machine.  The winning margin is recorded
+on the report either way.
+
+For *per-region* tuning — one grain per parallel region instead of one
+global winner — see :mod:`repro.tools.tuneplan` (docs/AUTOTUNE.md).
 """
 
 from __future__ import annotations
@@ -21,10 +30,13 @@ from repro.runtime.executor import run_program
 from repro.runtime.program import SpmdProgram
 from repro.runtime.report import RunReport
 
-__all__ = ["GranularityReport", "choose_granularity"]
+__all__ = ["GranularityReport", "choose_granularity", "METRICS"]
 
 #: Metrics the tuner can optimize.
 METRICS = ("total", "comm", "comm_cpu")
+
+#: Relative gap under which two grains count as tied (see module doc).
+DEFAULT_EPSILON = 0.05
 
 
 @dataclass
@@ -39,14 +51,36 @@ class GranularityReport:
     reports: Dict[str, RunReport] = field(default_factory=dict)
     #: The winning compiled program, ready to run.
     program: Optional[SpmdProgram] = None
+    #: grain -> total planned messages (the tie-break key).
+    messages: Dict[str, int] = field(default_factory=dict)
+    #: Relative gap between the two best metric values.
+    margin: float = 0.0
+    #: The near-tie threshold the selection used.
+    epsilon: float = DEFAULT_EPSILON
+    #: ``"messages"`` when the winner came from the fewer-transfers
+    #: tie-break rather than the raw metric; ``None`` otherwise.
+    tie_break: Optional[str] = None
 
     def summary(self) -> str:
         lines = [f"granularity auto-tune (metric: {self.metric}):"]
         for grain in GRAINS:
             star = " <- selected" if grain == self.best else ""
-            lines.append(
-                f"  {grain:7s} {self.values[grain] * 1e3:10.3f} ms{star}"
+            msgs = (
+                f" ({self.messages[grain]} msgs)"
+                if grain in self.messages
+                else ""
             )
+            lines.append(
+                f"  {grain:7s} {self.values[grain] * 1e3:10.3f} ms"
+                f"{msgs}{star}"
+            )
+        if self.tie_break:
+            lines.append(
+                f"  near-tie (margin {self.margin * 100:.1f}% < "
+                f"{self.epsilon * 100:.0f}%): broken by fewer {self.tie_break}"
+            )
+        else:
+            lines.append(f"  margin: {self.margin * 100:.1f}%")
         return "\n".join(lines)
 
 
@@ -64,33 +98,62 @@ def choose_granularity(
     metric: str = "comm",
     options: Optional[CompileOptions] = None,
     cluster_params=None,
+    epsilon: float = DEFAULT_EPSILON,
+    faults=None,
 ) -> GranularityReport:
     """Profile all three granularities and pick the best.
 
     ``metric`` is one of ``"total"`` (simulated wall-clock), ``"comm"``
     (busiest rank's elapsed MPI time), or ``"comm_cpu"`` (busiest rank's
-    CPU time driving communication).  Returns a
+    CPU time driving communication).  Grains within ``epsilon``
+    (relative) of the leader count as tied and the tie goes to the plan
+    with fewer messages, then to the finer grain.  Returns a
     :class:`GranularityReport` whose ``program`` field holds the winning
     compiled program.
     """
     if metric not in METRICS:
         raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
-    out = GranularityReport(best="", metric=metric)
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(f"epsilon must be in [0, 1), got {epsilon!r}")
+    out = GranularityReport(best="", metric=metric, epsilon=epsilon)
     programs: Dict[str, SpmdProgram] = {}
     for grain in GRAINS:
         if options is not None:
             from dataclasses import replace
 
-            opts = replace(options, granularity=grain, nprocs=nprocs)
+            opts = replace(
+                options, granularity=grain, nprocs=nprocs, grain_map=None
+            )
             prog = compile_source(source, options=opts)
         else:
             prog = compile_source(source, nprocs=nprocs, granularity=grain)
         report = run_program(
-            prog, cluster_params=cluster_params, execute=False
+            prog, cluster_params=cluster_params, execute=False, faults=faults
         )
         programs[grain] = prog
         out.reports[grain] = report
         out.values[grain] = _metric_value(report, metric)
-    out.best = min(GRAINS, key=lambda g: (out.values[g], GRAINS.index(g)))
+        out.messages[grain] = sum(
+            p.total_messages() for p in prog.plans.values()
+        )
+
+    by_value = sorted(GRAINS, key=lambda g: (out.values[g], GRAINS.index(g)))
+    leader_val = out.values[by_value[0]]
+    near = [
+        g
+        for g in GRAINS
+        if out.values[g] <= 0.0
+        or (out.values[g] - leader_val) / out.values[g] < epsilon
+    ]
+    if len(near) > 1:
+        out.best = min(
+            near, key=lambda g: (out.messages[g], GRAINS.index(g))
+        )
+        out.tie_break = "messages"
+    else:
+        out.best = by_value[0]
+    ordered = sorted(out.values[g] for g in GRAINS)
+    if len(ordered) > 1 and ordered[1] > 0.0:
+        out.margin = (ordered[1] - ordered[0]) / ordered[1]
     out.program = programs[out.best]
     return out

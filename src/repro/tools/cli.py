@@ -6,11 +6,18 @@ Usage::
     python -m repro compile PROG.f [--nprocs 4] [--granularity fine]
                                    [--show fortran|plan|log|avpg ...]
     python -m repro run     PROG.f [--nprocs 4] [--granularity fine]
-                                   [--timing] [--arrays A,B]
-    python -m repro trace   PROG.f [--nprocs 4] [--timing] [--out PREFIX]
+                                   [--backend vbus] [--timing]
+                                   [--arrays A,B] [--tune-plan PLAN.json]
+    python -m repro trace   PROG.f [--nprocs 4] [--backend vbus]
+                                   [--timing] [--out PREFIX]
     python -m repro autotune PROG.f [--nprocs 4] [--metric comm]
+                                    [--backend vbus] [--per-region]
+                                    [--plan-out PLAN.json]
     python -m repro sweep   GRID.json [--jobs N] [-o OUT.jsonl]
                                       [--cache-dir DIR] [--no-cache]
+
+``PROG.f`` may also be a workload spec like ``MM-256`` or ``SWIM-64x2``
+(the grammar of docs/SWEEP.md) when no such file exists.
 
 ``trace`` runs with the observability layer attached and writes
 ``PREFIX.trace.json`` (Chrome ``trace_event`` JSON — load it at
@@ -26,7 +33,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.compiler.pipeline import compile_file
+from repro.compiler.pipeline import CompileOptions, compile_source
 from repro.compiler.postpass.granularity import GRAINS
 from repro.faults.plan import FaultPlan
 from repro.mpi2.exceptions import MpiFaultError
@@ -37,13 +44,17 @@ from repro.obs.export import (
     write_metrics_json,
 )
 from repro.runtime.executor import run_program, run_sequential
+from repro.sweep.runner import BACKENDS
 from repro.tools.autotune import METRICS, choose_granularity
 
 __all__ = ["main"]
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("source", help="Fortran 77 source file")
+    p.add_argument(
+        "source",
+        help="Fortran 77 source file, or a workload spec like MM-256",
+    )
     p.add_argument("--nprocs", type=int, default=4, help="cluster size")
     p.add_argument(
         "--granularity",
@@ -56,6 +67,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         choices=("auto", "block", "cyclic"),
         default="auto",
         help="work partitioning strategy (paper §5.3)",
+    )
+
+
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="interconnect preset (default: vbus; see docs/SWEEP.md)",
     )
 
 
@@ -72,6 +92,29 @@ def _load_faults(args) -> Optional[FaultPlan]:
     if getattr(args, "faults", None) is None:
         return None
     return FaultPlan.load(args.faults)
+
+
+def _source_text(source: str) -> str:
+    """The Fortran text of a file path or a workload spec string."""
+    if os.path.exists(source):
+        with open(source) as fh:
+            return fh.read()
+    from repro.workloads import is_spec, source_for
+
+    if is_spec(source):
+        return source_for(source)
+    raise SystemExit(
+        f"repro: {source!r} is neither a file nor a workload spec"
+    )
+
+
+def _cluster(args):
+    """The resized ClusterParams for ``--backend``, or None (default)."""
+    if getattr(args, "backend", None) is None:
+        return None
+    from repro.vbus import params as P
+
+    return P.cluster_for(args.nprocs, getattr(P, BACKENDS[args.backend]))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     pr = sub.add_parser("run", help="compile and simulate a run")
     _add_common(pr)
+    _add_backend(pr)
     pr.add_argument(
         "--timing",
         action="store_true",
@@ -109,12 +153,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run sequentially and report the speedup",
     )
+    pr.add_argument(
+        "--tune-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="mixed-grain TunePlan artifact from "
+        "'repro autotune --per-region --plan-out' (docs/AUTOTUNE.md); "
+        "overrides --granularity",
+    )
     _add_faults(pr)
 
     pt = sub.add_parser(
         "trace", help="run with tracing on and export timeline + metrics"
     )
     _add_common(pt)
+    _add_backend(pt)
     pt.add_argument(
         "--timing",
         action="store_true",
@@ -134,10 +187,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_faults(pt)
 
-    pa = sub.add_parser("autotune", help="pick the best granularity")
-    pa.add_argument("source")
-    pa.add_argument("--nprocs", type=int, default=4)
+    pa = sub.add_parser(
+        "autotune",
+        help="pick the best granularity — globally, or per region with "
+        "a cached pruned search (docs/AUTOTUNE.md)",
+    )
+    _add_common(pa)
+    _add_backend(pa)
     pa.add_argument("--metric", choices=METRICS, default="comm")
+    pa.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="relative near-tie margin (default 0.05): closer gaps go "
+        "to the plan with fewer messages (global mode) or to the "
+        "profiled rollup (per-region mode)",
+    )
+    pa.add_argument(
+        "--per-region",
+        action="store_true",
+        help="tune each parallel region separately (mixed-grain plan) "
+        "instead of picking one global grain",
+    )
+    pa.add_argument(
+        "--plan-out",
+        default=None,
+        metavar="PLAN.json",
+        help="write the per-region TunePlan artifact (reusable via "
+        "'repro run --tune-plan' and the sweep engine)",
+    )
+    pa.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="per-region plan cache location (default: .sweep-cache, "
+        "shared with 'repro sweep')",
+    )
+    pa.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the per-region plan cache",
+    )
+    _add_faults(pa)
 
     ps = sub.add_parser(
         "sweep",
@@ -179,8 +270,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_compile(args) -> int:
-    prog = compile_file(
-        args.source,
+    prog = compile_source(
+        _source_text(args.source),
         nprocs=args.nprocs,
         granularity=args.granularity,
         partition=args.partition,
@@ -210,13 +301,35 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    prog = compile_file(
-        args.source,
-        nprocs=args.nprocs,
-        granularity=args.granularity,
-        partition=args.partition,
+    source = _source_text(args.source)
+    if args.tune_plan is not None:
+        from repro.tools.tuneplan import TunePlan
+
+        plan = TunePlan.load(args.tune_plan)
+        prog = compile_source(
+            source,
+            options=plan.options(
+                nprocs=args.nprocs, partition=args.partition
+            ),
+        )
+        if plan.nprocs != args.nprocs:
+            print(
+                f"(note: plan was tuned at nprocs={plan.nprocs}, "
+                f"running at {args.nprocs})"
+            )
+    else:
+        prog = compile_source(
+            source,
+            nprocs=args.nprocs,
+            granularity=args.granularity,
+            partition=args.partition,
+        )
+    report = run_program(
+        prog,
+        cluster_params=_cluster(args),
+        execute=not args.timing,
+        faults=_load_faults(args),
     )
-    report = run_program(prog, execute=not args.timing, faults=_load_faults(args))
     for line in report.stdout:
         print(line)
     print(report.summary())
@@ -237,14 +350,18 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    prog = compile_file(
-        args.source,
+    prog = compile_source(
+        _source_text(args.source),
         nprocs=args.nprocs,
         granularity=args.granularity,
         partition=args.partition,
     )
     report = run_program(
-        prog, execute=not args.timing, trace=True, faults=_load_faults(args)
+        prog,
+        cluster_params=_cluster(args),
+        execute=not args.timing,
+        trace=True,
+        faults=_load_faults(args),
     )
     prefix = args.out or os.path.splitext(os.path.basename(args.source))[0]
     trace_path = f"{prefix}.trace.json"
@@ -293,9 +410,47 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_autotune(args) -> int:
-    with open(args.source) as fh:
-        src = fh.read()
-    rep = choose_granularity(src, nprocs=args.nprocs, metric=args.metric)
+    src = _source_text(args.source)
+    faults = _load_faults(args)
+    if args.per_region:
+        from repro.sweep.cache import DEFAULT_CACHE_DIR
+        from repro.tools.tuneplan import DEFAULT_EPSILON, tune_per_region
+
+        cache_dir = None if args.no_cache else (
+            args.cache_dir or DEFAULT_CACHE_DIR
+        )
+        plan = tune_per_region(
+            src,
+            nprocs=args.nprocs,
+            metric=args.metric,
+            backend=args.backend or "vbus",
+            epsilon=(
+                args.epsilon if args.epsilon is not None else DEFAULT_EPSILON
+            ),
+            cache_dir=cache_dir,
+            faults=faults,
+        )
+        print(plan.summary())
+        if args.plan_out is not None:
+            plan.save(args.plan_out)
+            print(f"wrote {args.plan_out}")
+        return 0
+    from repro.tools.autotune import DEFAULT_EPSILON
+
+    opts = CompileOptions(
+        nprocs=args.nprocs,
+        granularity=args.granularity,
+        partition=args.partition,
+    )
+    rep = choose_granularity(
+        src,
+        nprocs=args.nprocs,
+        metric=args.metric,
+        options=opts,
+        cluster_params=_cluster(args),
+        epsilon=args.epsilon if args.epsilon is not None else DEFAULT_EPSILON,
+        faults=faults,
+    )
     print(rep.summary())
     return 0
 

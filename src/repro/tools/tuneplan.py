@@ -1,0 +1,553 @@
+"""Trace-driven per-region granularity tuning (docs/AUTOTUNE.md).
+
+The global tuner (:mod:`repro.tools.autotune`) profiles the whole
+program at every grain and picks one winner — three full profile runs,
+and one grain for every parallel region even when regions disagree.
+This module tunes **per region** with a pruned search:
+
+1. compile the three global-grain variants (compile analysis is cheap
+   next to simulation, and the pipeline cache makes repeats free) and
+   price each region's :class:`RegionCommPlan` with an **analytic cost
+   model** built from the §5.6 transfer plans and the backend's
+   :class:`~repro.vbus.params.ClusterParams`;
+2. regions whose best grain wins by at least ``epsilon`` (relative
+   margin) are decided by the model alone;
+3. the remaining *ambiguous* regions are decided empirically: one
+   instrumented timing-mode profile of the candidate plan, plus one
+   targeted re-profile per runner-up rank (all ambiguous regions switch
+   candidates together, so a 3-way tie still costs only two extra runs),
+   attributed per region with :func:`repro.obs.region_rollup`.
+
+The result is a :class:`TunePlan` — a backend-aware mixed-grain plan
+``{region_id: grain}`` that compiles via ``CompileOptions.grain_map``,
+serializes to a canonical JSON artifact (``repro run --tune-plan``), and
+is content-address-cached through :mod:`repro.sweep.cache` keyed on
+(source, backend, nprocs, metric, epsilon) so warm calls skip even the
+single profile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.pipeline import CompileOptions, compile_source
+from repro.compiler.postpass.granularity import GRAINS
+from repro.compiler.postpass.scatter import RegionCommPlan
+from repro.runtime.executor import run_program
+from repro.sweep.cache import (
+    DEFAULT_CACHE_DIR,
+    canonical_json,
+    job_key,
+    load_row,
+    store_row,
+)
+
+__all__ = [
+    "ModelCost",
+    "RegionDecision",
+    "TunePlan",
+    "region_model_cost",
+    "tune_per_region",
+]
+
+#: Relative margin below which the analytic model refuses to decide and
+#: the region goes to the profile-measured tier instead.
+DEFAULT_EPSILON = 0.05
+
+#: Rough CPU cost of one kernel-stack traversal (ethernet backends have
+#: no user-level path; the sw latency *is* host CPU time).
+_ETH_CPU_PER_SIDE = 1.0
+
+
+@dataclass(frozen=True)
+class ModelCost:
+    """Analytic price of one region's communication at one grain."""
+
+    elapsed_s: float
+    cpu_s: float
+    messages: int
+
+    def metric(self, metric: str) -> float:
+        return self.cpu_s if metric == "comm_cpu" else self.elapsed_s
+
+
+def _transfer_cost(transfer, itemsize: int, params) -> Tuple[float, float]:
+    """(elapsed, master-CPU) seconds for one master<->slave transfer."""
+    nbytes = transfer.count * itemsize
+    if params.network == "ethernet":
+        e = params.ethernet
+        frames = max(1, math.ceil(nbytes / e.mtu_bytes))
+        elapsed = 2 * e.sw_latency_s + nbytes / e.rate_Bps + frames * e.min_frame_s
+        if e.switched:
+            # Store-and-forward: the switch replays the wire time and
+            # charges its forwarding decision.
+            elapsed += e.switch_latency_s + nbytes / e.rate_Bps
+        cpu = 2 * e.sw_latency_s * _ETH_CPU_PER_SIDE
+        return elapsed, cpu
+    nic = params.nic
+    overhead = nic.per_message_overhead_s()
+    if transfer.contiguous:
+        elapsed = overhead + nic.dma_setup_s + nbytes / nic.dma_rate_Bps
+        return elapsed, overhead + nic.dma_setup_s
+    # Strided: programmed I/O, the host CPU touches every element.
+    elapsed = (
+        overhead + nic.pio_setup_s + transfer.count * nic.pio_per_element_s
+    )
+    return elapsed, elapsed
+
+
+def region_model_cost(plan: RegionCommPlan, params) -> ModelCost:
+    """Price one region's scatter+collect plan on one backend.
+
+    Scatters serialize on the master (one bcast wave when the V-Bus
+    broadcast fuses them); collects overlap across ranks on the V-Bus
+    mesh and switched fabrics (busiest rank bounds) but serialize on a
+    shared ethernet segment.  A pruning heuristic, not an accounting
+    identity — it only has to rank grains with a margin.
+    """
+    elapsed = cpu = 0.0
+    messages = 0
+    shared_segment = (
+        params.network == "ethernet" and not params.ethernet.switched
+    )
+    for aplan in plan.arrays.values():
+        bcast = (
+            aplan.scatter_bcast
+            and params.network == "vbus"
+            and params.vbus_broadcast
+        )
+        if bcast:
+            transfers = next(iter(aplan.scatter.values()), [])
+            messages += len(transfers)
+            for t in transfers:
+                e, c = _transfer_cost(t, aplan.itemsize, params)
+                elapsed += e
+                cpu += c
+        else:
+            for transfers in aplan.scatter.values():
+                messages += len(transfers)
+                for t in transfers:
+                    e, c = _transfer_cost(t, aplan.itemsize, params)
+                    elapsed += e
+                    cpu += c
+        rank_elapsed: List[float] = []
+        rank_cpu: List[float] = []
+        for transfers in aplan.collect.values():
+            messages += len(transfers)
+            e_sum = c_sum = 0.0
+            for t in transfers:
+                e, c = _transfer_cost(t, aplan.itemsize, params)
+                e_sum += e
+                c_sum += c
+            rank_elapsed.append(e_sum)
+            rank_cpu.append(c_sum)
+        if rank_elapsed:
+            if shared_segment:
+                elapsed += sum(rank_elapsed)
+                cpu += sum(rank_cpu)
+            else:
+                elapsed += max(rank_elapsed)
+                cpu += max(rank_cpu)
+    return ModelCost(elapsed_s=elapsed, cpu_s=cpu, messages=messages)
+
+
+@dataclass
+class RegionDecision:
+    """How one parallel region's grain was chosen."""
+
+    region_id: int
+    grain: str
+    #: "model" (margin >= epsilon) or "profile" (measured rollup).
+    how: str
+    #: Relative margin of the winner over the runner-up at decision time.
+    margin: float
+    #: grain -> analytic metric value (seconds).
+    model: Dict[str, float] = field(default_factory=dict)
+    #: grain -> measured per-region metric (profile-decided regions only).
+    measured: Dict[str, float] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict:
+        out = {
+            "region_id": self.region_id,
+            "grain": self.grain,
+            "how": self.how,
+            "margin": self.margin,
+            "model": {g: self.model[g] for g in sorted(self.model)},
+        }
+        if self.measured:
+            out["measured"] = {
+                g: self.measured[g] for g in sorted(self.measured)
+            }
+        return out
+
+    @classmethod
+    def from_jsonable(cls, doc: Dict) -> "RegionDecision":
+        return cls(
+            region_id=int(doc["region_id"]),
+            grain=doc["grain"],
+            how=doc["how"],
+            margin=float(doc["margin"]),
+            model=dict(doc.get("model", {})),
+            measured=dict(doc.get("measured", {})),
+        )
+
+
+@dataclass
+class TunePlan:
+    """A backend-aware mixed-grain plan, ready to compile or serialize."""
+
+    metric: str
+    nprocs: int
+    backend: Optional[str]
+    default_grain: str
+    #: region_id -> grain, only for regions that differ from the default.
+    grain_map: Dict[int, str] = field(default_factory=dict)
+    epsilon: float = DEFAULT_EPSILON
+    source_sha256: str = ""
+    decisions: List[RegionDecision] = field(default_factory=list)
+    #: Instrumented profile runs the search needed (0 on a warm cache hit
+    #: only because the field round-trips from the cached artifact).
+    profiles: int = 0
+    #: True when this plan came from the on-disk plan cache.
+    cached: bool = field(default=False, compare=False)
+
+    @property
+    def mixed(self) -> bool:
+        return bool(self.grain_map)
+
+    def options(self, **overrides) -> CompileOptions:
+        """The :class:`CompileOptions` that realize this plan."""
+        kw = dict(
+            nprocs=self.nprocs,
+            granularity=self.default_grain,
+            grain_map=self.grain_map or None,
+        )
+        kw.update(overrides)
+        return CompileOptions(**kw)
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "kind": "tuneplan",
+            "metric": self.metric,
+            "nprocs": self.nprocs,
+            "backend": self.backend,
+            "default_grain": self.default_grain,
+            "grain_map": {
+                str(rid): self.grain_map[rid]
+                for rid in sorted(self.grain_map)
+            },
+            "epsilon": self.epsilon,
+            "source_sha256": self.source_sha256,
+            "profiles": self.profiles,
+            "decisions": [d.to_jsonable() for d in self.decisions],
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: Dict) -> "TunePlan":
+        if doc.get("kind") != "tuneplan":
+            raise ValueError(
+                f"not a TunePlan document (kind={doc.get('kind')!r})"
+            )
+        return cls(
+            metric=doc["metric"],
+            nprocs=int(doc["nprocs"]),
+            backend=doc.get("backend"),
+            default_grain=doc["default_grain"],
+            grain_map={
+                int(rid): g for rid, g in doc.get("grain_map", {}).items()
+            },
+            epsilon=float(doc.get("epsilon", DEFAULT_EPSILON)),
+            source_sha256=doc.get("source_sha256", ""),
+            decisions=[
+                RegionDecision.from_jsonable(d)
+                for d in doc.get("decisions", [])
+            ],
+            profiles=int(doc.get("profiles", 0)),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the canonical JSON artifact (byte-deterministic)."""
+        with open(path, "w") as fh:
+            fh.write(canonical_json(self.to_jsonable()))
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "TunePlan":
+        with open(path) as fh:
+            return cls.from_jsonable(json.load(fh))
+
+    def summary(self) -> str:
+        where = self.backend or "custom backend"
+        head = (
+            f"per-region tune plan ({where}, np={self.nprocs}, "
+            f"metric: {self.metric}):"
+        )
+        lines = [head]
+        for d in sorted(self.decisions, key=lambda d: d.region_id):
+            star = "*" if d.region_id in self.grain_map else " "
+            lines.append(
+                f" {star} region {d.region_id}: {d.grain:7s} "
+                f"[{d.how}, margin {d.margin * 100:.1f}%]"
+            )
+        if self.mixed:
+            lines.append(
+                f"  mixed plan: default {self.default_grain}, "
+                f"{len(self.grain_map)} override(s); "
+                f"{self.profiles} profile run(s)"
+            )
+        else:
+            lines.append(
+                f"  uniform plan: {self.default_grain} everywhere; "
+                f"{self.profiles} profile run(s)"
+            )
+        if self.cached:
+            lines.append("  (loaded from plan cache)")
+        return "\n".join(lines)
+
+
+def _measured_value(rollup, metric: str) -> float:
+    if metric == "comm":
+        return rollup.mpi_max_s
+    if metric == "comm_cpu":
+        return rollup.nic_cpu_s
+    return rollup.elapsed_s
+
+
+def _rank_grains(model: Dict[str, ModelCost], metric: str) -> List[str]:
+    """Grains best-first: metric value, then messages, then GRAINS order."""
+    return sorted(
+        GRAINS,
+        key=lambda g: (
+            model[g].metric(metric),
+            model[g].messages,
+            GRAINS.index(g),
+        ),
+    )
+
+
+def _margin(values: List[float]) -> float:
+    """Relative gap between the two best values (sorted ascending)."""
+    if len(values) < 2:
+        return math.inf
+    best, second = values[0], values[1]
+    if second <= 0.0:
+        return 0.0
+    return (second - best) / second
+
+
+def plan_cache_key(
+    source: str, backend: str, nprocs: int, metric: str, epsilon: float
+) -> str:
+    """Content-address of one tuning problem (shares the sweep cache)."""
+    sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return job_key(
+        {
+            "kind": "tuneplan",
+            "source_sha256": sha,
+            "backend": backend,
+            "nprocs": nprocs,
+            "metric": metric,
+            "epsilon": epsilon,
+        }
+    )
+
+
+def _resolve_backend(backend: Optional[str], cluster_params, nprocs: int):
+    if cluster_params is not None:
+        return cluster_params
+    from repro.sweep.runner import BACKENDS
+    from repro.vbus import params as P
+
+    name = backend if backend is not None else "vbus"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; use one of {sorted(BACKENDS)}"
+        )
+    return P.cluster_for(nprocs, getattr(P, BACKENDS[name]))
+
+
+def tune_per_region(
+    source: str,
+    nprocs: int = 4,
+    metric: str = "comm",
+    backend: Optional[str] = None,
+    cluster_params=None,
+    epsilon: float = DEFAULT_EPSILON,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    faults=None,
+) -> TunePlan:
+    """Derive a per-region mixed-grain :class:`TunePlan` for ``source``.
+
+    ``backend`` is a sweep backend name (``vbus``, ``gige``, ...); pass
+    ``cluster_params`` instead for a custom machine (which disables the
+    plan cache — there is no stable name to key it under).  ``faults``
+    only affects the profile runs, never the plan artifact: fault plans
+    perturb timing, not which transfers a grain emits.
+
+    Warm calls (``cache_dir`` holds a plan for this exact problem)
+    return the cached plan without compiling or profiling anything.
+    """
+    from repro.tools.autotune import METRICS
+
+    if metric not in METRICS:
+        raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(f"epsilon must be in [0, 1), got {epsilon!r}")
+
+    cacheable = cache_dir is not None and cluster_params is None
+    key = None
+    if cacheable:
+        key = plan_cache_key(
+            source, backend or "vbus", nprocs, metric, epsilon
+        )
+        row = load_row(cache_dir, key)
+        if row is not None:
+            plan = TunePlan.from_jsonable(row)
+            plan.cached = True
+            return plan
+
+    params = _resolve_backend(backend, cluster_params, nprocs)
+
+    # 1. Compile every global grain; the cost model reads their plans.
+    programs = {
+        g: compile_source(source, nprocs=nprocs, granularity=g)
+        for g in GRAINS
+    }
+    region_ids = sorted(programs[GRAINS[0]].plans)
+
+    # 2. Analytic tier: decide regions with a clear model margin.
+    decisions: Dict[int, RegionDecision] = {}
+    ambiguous: Dict[int, List[str]] = {}
+    model_costs: Dict[int, Dict[str, ModelCost]] = {}
+    for rid in region_ids:
+        costs = {
+            g: region_model_cost(programs[g].plans[rid], params)
+            for g in GRAINS
+        }
+        model_costs[rid] = costs
+        ranked = _rank_grains(costs, metric)
+        values = [costs[g].metric(metric) for g in ranked]
+        margin = _margin(values)
+        decision = RegionDecision(
+            region_id=rid,
+            grain=ranked[0],
+            how="model",
+            margin=margin,
+            model={g: costs[g].metric(metric) for g in GRAINS},
+        )
+        decisions[rid] = decision
+        if margin < epsilon:
+            # Candidates within epsilon of the leader go to the profile —
+            # except exact structural duplicates: grains whose region
+            # plans price identically (elapsed, CPU, *and* messages) emit
+            # equivalent transfer schedules (e.g. the §5.6 bound check
+            # demoted every grain to fine), so the deterministic
+            # simulator would measure them identically too.  Profiling a
+            # duplicate is provably wasted work; the ranked order already
+            # applied the tie-break.
+            cands = [
+                g
+                for g, v in zip(ranked, values)
+                if values[0] <= 0.0 or (v - values[0]) / max(v, 1e-30) < epsilon
+            ]
+            cands = [
+                g
+                for i, g in enumerate(cands)
+                if not any(costs[g] == costs[h] for h in cands[:i])
+            ]
+            if len(cands) > 1:
+                ambiguous[rid] = cands
+
+    # 3. Profile tier: one instrumented run per candidate rank.  Every
+    #    ambiguous region switches to its k-th candidate in run k, so the
+    #    run count is the longest candidate list (<= len(GRAINS)), not
+    #    the number of ambiguous regions.
+    profiles = 0
+    if ambiguous:
+        rounds = max(len(c) for c in ambiguous.values())
+        measured: Dict[int, Dict[str, float]] = {
+            rid: {} for rid in ambiguous
+        }
+        base_grain = decisions[region_ids[0]].grain if region_ids else "fine"
+        for k in range(rounds):
+            gmap = {
+                rid: decisions[rid].grain for rid in region_ids
+            }  # model-best everywhere...
+            probe = {
+                rid: cands[min(k, len(cands) - 1)]
+                for rid, cands in ambiguous.items()
+            }
+            gmap.update(probe)  # ...except ambiguous regions probe cand k
+            opts = CompileOptions(
+                nprocs=nprocs, granularity=base_grain, grain_map=gmap
+            )
+            prog = compile_source(source, options=opts)
+            report = run_program(
+                prog,
+                cluster_params=params,
+                execute=False,
+                trace=True,
+                faults=faults,
+            )
+            profiles += 1
+            from repro.obs import region_rollup
+
+            rollups = region_rollup(report.trace)
+            for rid, grain in probe.items():
+                if grain in measured[rid]:
+                    continue  # short candidate list re-ran its last cand
+                roll = rollups.get(rid)
+                measured[rid][grain] = (
+                    _measured_value(roll, metric) if roll is not None else 0.0
+                )
+        for rid, cands in ambiguous.items():
+            vals = measured[rid]
+            ranked = sorted(
+                cands,
+                key=lambda g: (
+                    vals.get(g, math.inf),
+                    model_costs[rid][g].messages,
+                    GRAINS.index(g),
+                ),
+            )
+            ordered = [vals[g] for g in ranked if g in vals]
+            decisions[rid] = replace(
+                decisions[rid],
+                grain=ranked[0],
+                how="profile",
+                margin=_margin(ordered),
+                measured=dict(vals),
+            )
+
+    # 4. Compress: majority grain becomes the default, the rest override.
+    chosen = [decisions[rid].grain for rid in region_ids]
+    if chosen:
+        default = max(
+            GRAINS, key=lambda g: (chosen.count(g), -GRAINS.index(g))
+        )
+    else:
+        default = "fine"
+    grain_map = {
+        rid: decisions[rid].grain
+        for rid in region_ids
+        if decisions[rid].grain != default
+    }
+
+    plan = TunePlan(
+        metric=metric,
+        nprocs=nprocs,
+        backend=backend if cluster_params is None else None,
+        default_grain=default,
+        grain_map=grain_map,
+        epsilon=epsilon,
+        source_sha256=hashlib.sha256(source.encode("utf-8")).hexdigest(),
+        decisions=[decisions[rid] for rid in region_ids],
+        profiles=profiles,
+    )
+    if cacheable:
+        store_row(cache_dir, key, plan.to_jsonable())
+    return plan

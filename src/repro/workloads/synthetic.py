@@ -9,6 +9,7 @@ import numpy as np
 __all__ = [
     "stride_kernel",
     "phased_stride_kernel",
+    "crossover_kernel",
     "copy_kernel",
     "reduction_kernel",
     "triangular_kernel",
@@ -71,6 +72,60 @@ def phased_stride_kernel(n: int, stride: int) -> str:
       ENDDO
       DO I = 1, N
 {stmts}
+      ENDDO
+      END
+"""
+
+
+def crossover_kernel(n: int, stride: int = 8) -> str:
+    """Two parallel regions with *opposing* grain preferences.
+
+    Region 1 reads every ``stride``-th element of a big table: its exact
+    (fine) scatter moves ``1/stride`` of the bytes a coarse bounding
+    interval would, in the same number of messages — fine wins wherever
+    bytes cost anything.  Region 2 row-reduces a column-major 2D array
+    partitioned over rows: each rank's exact scatter is one segment per
+    *column* (many small messages), which a coarse bounding interval
+    fuses into one — coarse wins wherever per-message latency dominates
+    (switched GigE's kernel stack).  No single global grain can win both
+    regions, which makes this the canonical mixed-grain-plan workload
+    for the per-region autotuner (docs/AUTOTUNE.md).
+
+    The two init loops are deliberately sequential (a first-order
+    recurrence and a scalar accumulator) so the master owns all data and
+    both parallel regions pay full, comparable scatters.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    if n < 8:
+        raise ValueError("n must be >= 8")
+    size = stride * (n - 1) + 1
+    rows = max(n // 4, 8)
+    return f"""
+      PROGRAM XOVERK
+      PARAMETER (N = {n}, NS = {size}, NR = {rows}, NC = 24)
+      REAL*8 A(NS), B(N), X(NR, NC), C(NR)
+      REAL*8 T
+      INTEGER I, J
+      A(1) = 1.0
+      DO I = 2, NS
+        A(I) = A(I-1) + 0.5
+      ENDDO
+      T = 0.0
+      DO J = 1, NC
+        DO I = 1, NR
+          T = T + 1.0
+          X(I, J) = T
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        B(I) = A({stride}*(I-1)+1) * 0.5
+      ENDDO
+      DO I = 1, NR
+        C(I) = 0.0
+        DO J = 1, NC
+          C(I) = C(I) + X(I, J)
+        ENDDO
       ENDDO
       END
 """

@@ -22,6 +22,7 @@ DOC_FILES = (
     ROOT / "docs" / "ARCHITECTURE.md",
     ROOT / "docs" / "FAULTS.md",
     ROOT / "docs" / "SWEEP.md",
+    ROOT / "docs" / "AUTOTUNE.md",
 )
 
 #: Snippets matching any of these substrings get the ``slow`` marker.

@@ -1,0 +1,119 @@
+"""CI smoke for the per-region autotuner (docs/AUTOTUNE.md).
+
+Asserts, on a handful of workload x backend cells:
+
+* the tuned plan's ``comm`` metric never loses to the best global grain
+  (and strictly beats all three on the XOVER-256/gige crossover cell);
+* a warm plan-cache call returns ``cached=True`` and an artifact
+  byte-identical to the cold one;
+* the mixed-grain run's numeric state digests identically to the
+  single-grain oracle (granularity is results-invariant).
+
+Run: ``PYTHONPATH=src python tools/autotune_smoke.py``
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+
+from repro.compiler.pipeline import CompileOptions, compile_source
+from repro.compiler.postpass.granularity import GRAINS
+from repro.runtime.executor import run_program
+from repro.sweep.cache import canonical_json
+from repro.sweep.runner import BACKENDS
+from repro.tools.tuneplan import tune_per_region
+from repro.vbus import params as P
+from repro.workloads import source_for
+
+#: (workload spec, backend, strict-win required) smoke cells.
+CELLS = (
+    ("XOVER-256", "gige", True),
+    ("XOVER-64", "ethernet100", False),
+    ("MM-64", "vbus", False),
+    ("JACOBI-32x3", "gige", False),
+)
+
+
+def _comm(source, options, params):
+    prog = compile_source(source, options=options)
+    return run_program(prog, cluster_params=params, execute=False).comm_max_s
+
+
+def main() -> int:
+    cache = tempfile.mkdtemp(prefix="autotune-smoke-")
+    try:
+        for spec, backend, need_strict in CELLS:
+            source = source_for(spec)
+            params = P.cluster_for(4, getattr(P, BACKENDS[backend]))
+
+            cold = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=cache,
+            )
+            warm = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=cache,
+            )
+            if not warm.cached:
+                print(f"{spec}/{backend}: warm plan-cache MISS")
+                return 1
+            if canonical_json(cold.to_jsonable()) != canonical_json(
+                warm.to_jsonable()
+            ):
+                print(f"{spec}/{backend}: warm plan differs from cold")
+                return 1
+
+            tuned = _comm(source, cold.options(), params)
+            globals_ = {
+                g: _comm(
+                    source,
+                    CompileOptions(nprocs=4, granularity=g),
+                    params,
+                )
+                for g in GRAINS
+            }
+            best = min(globals_.values())
+            if tuned > best:
+                print(
+                    f"{spec}/{backend}: tuned {tuned} LOSES to "
+                    f"best global {best}"
+                )
+                return 1
+            if need_strict and not all(tuned < v for v in globals_.values()):
+                print(
+                    f"{spec}/{backend}: expected strict win, got "
+                    f"tuned={tuned} globals={globals_}"
+                )
+                return 1
+
+            oracle = run_program(
+                compile_source(source, nprocs=4, granularity="fine"),
+                cluster_params=params, execute=True,
+            ).array_digest()
+            mixed = run_program(
+                compile_source(source, options=cold.options()),
+                cluster_params=params, execute=True,
+            ).array_digest()
+            if mixed != oracle:
+                print(f"{spec}/{backend}: mixed-plan digest diverged")
+                return 1
+
+            verdict = (
+                "STRICT WIN" if all(tuned < v for v in globals_.values())
+                else "matches best global"
+            )
+            print(
+                f"{spec:12s} {backend:12s} tuned {tuned * 1e6:9.1f}us "
+                f"vs best global {best * 1e6:9.1f}us  [{verdict}; "
+                f"{cold.profiles} profile(s); warm hit OK; digest OK]"
+            )
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    print("autotune smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
