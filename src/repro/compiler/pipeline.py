@@ -51,14 +51,20 @@ class CompileOptions:
     the choice to the user); ``grain_map`` overrides it per parallel
     region (``{region_id: grain}`` — a mixed-grain plan, typically
     produced by the per-region autotuner, docs/AUTOTUNE.md); regions not
-    named fall back to ``granularity``.  ``live_out=None`` treats every
+    named fall back to ``granularity``.  ``partition`` is the global
+    §5.3 work-partitioning strategy (``auto`` = cyclic for triangular
+    loops, block otherwise) and ``partition_map`` overrides it per
+    region with a concrete strategy spec (``block``, ``cyclic``, or
+    ``block:D``/``cyclic:D`` to split dimension ``D`` of a perfect
+    nest — docs/PARTITION.md); regions not named fall back to
+    ``partition``.  ``live_out=None`` treats every
     array as observable at program end (AVPG dead-array elimination off —
     the safe default), while an explicit set enables it.
     """
 
     nprocs: int = 4
     granularity: str = "fine"
-    partition: str = "auto"  # auto | block | cyclic
+    partition: str = "auto"  # auto | block | cyclic | block:D | cyclic:D
     parallelize: bool = True  # run detection (else trust directives only)
     live_out: Optional[frozenset] = None
     #: Disable the AVPG redundancy eliminations (ablation): every region
@@ -68,41 +74,74 @@ class CompileOptions:
     #: region_id -> grain, canonicalized to a sorted tuple of pairs so
     #: the options object stays hashable (the compile cache keys on it).
     grain_map: Optional[Tuple[Tuple[int, str], ...]] = None
+    #: Per-region partition-strategy overrides: region_id -> strategy
+    #: spec, canonicalized exactly like ``grain_map``.  Specs must be
+    #: concrete (``auto`` only makes sense as the global default).
+    partition_map: Optional[Tuple[Tuple[int, str], ...]] = None
+
+    @staticmethod
+    def _canonical_map(raw, what: str, check) -> Optional[Tuple]:
+        """Sort/validate a region-override mapping into a hashable tuple."""
+        items = raw.items() if hasattr(raw, "items") else raw
+        canon = []
+        for rid, value in items:
+            rid = int(rid)
+            if rid < 0:
+                raise ValueError(f"{what} region id {rid} is negative")
+            check(rid, value)
+            canon.append((rid, value))
+        canon.sort()
+        for (a, _), (b, _) in zip(canon, canon[1:]):
+            if a == b:
+                raise ValueError(f"{what} names region {a} twice")
+        return tuple(canon) if canon else None
 
     def __post_init__(self):
+        from repro.compiler.postpass.partition import parse_strategy
+
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if self.granularity not in GRAINS:
             raise ValueError(
                 f"granularity must be one of {GRAINS}, got {self.granularity!r}"
             )
-        if self.partition not in ("auto", "block", "cyclic"):
-            raise ValueError(f"bad partition strategy {self.partition!r}")
+        if self.partition != "auto":
+            try:
+                parse_strategy(self.partition)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad partition strategy {self.partition!r}: {exc}"
+                ) from None
         if self.live_out is not None:
             object.__setattr__(self, "live_out", frozenset(self.live_out))
         if self.grain_map is not None:
-            items = (
-                self.grain_map.items()
-                if hasattr(self.grain_map, "items")
-                else self.grain_map
-            )
-            canon = []
-            for rid, grain in items:
-                rid = int(rid)
-                if rid < 0:
-                    raise ValueError(f"grain_map region id {rid} is negative")
+
+            def check_grain(rid, grain):
                 if grain not in GRAINS:
                     raise ValueError(
                         f"grain_map[{rid}] must be one of {GRAINS}, "
                         f"got {grain!r}"
                     )
-                canon.append((rid, grain))
-            canon.sort()
-            for (a, _), (b, _) in zip(canon, canon[1:]):
-                if a == b:
-                    raise ValueError(f"grain_map names region {a} twice")
+
             object.__setattr__(
-                self, "grain_map", tuple(canon) if canon else None
+                self,
+                "grain_map",
+                self._canonical_map(self.grain_map, "grain_map", check_grain),
+            )
+        if self.partition_map is not None:
+
+            def check_part(rid, spec):
+                try:
+                    parse_strategy(spec)
+                except ValueError as exc:
+                    raise ValueError(f"partition_map[{rid}]: {exc}") from None
+
+            object.__setattr__(
+                self,
+                "partition_map",
+                self._canonical_map(
+                    self.partition_map, "partition_map", check_part
+                ),
             )
 
     def grain_for(self, region_id: int) -> str:
@@ -113,9 +152,21 @@ class CompileOptions:
                     return grain
         return self.granularity
 
+    def partition_for(self, region_id: int) -> str:
+        """The effective partition request of one parallel region."""
+        if self.partition_map:
+            for rid, spec in self.partition_map:
+                if rid == region_id:
+                    return spec
+        return self.partition
+
     @property
     def mixed_grain(self) -> bool:
         return bool(self.grain_map)
+
+    @property
+    def mixed_partition(self) -> bool:
+        return bool(self.partition_map)
 
 
 def compile_source(

@@ -107,7 +107,7 @@ def _emit_regions(regions: List[Region], plans, out: List[str], depth: int) -> N
             loop = region.loop
             out.append(
                 f"{pad}! --- parallel region {region.region_id}: "
-                f"DO {loop.var}, {region.partition.strategy} partition ---"
+                f"DO {loop.var}, {region.partition.spec} partition ---"
             )
             if plan is not None:
                 for aplan in plan.arrays.values():

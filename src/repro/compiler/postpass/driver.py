@@ -74,6 +74,9 @@ def run_postpass(unit: F.Unit, options) -> SpmdProgram:
             live_out=options.live_out,
             use_avpg=options.avpg,
             grain_map=dict(getattr(options, "grain_map", None) or ()),
+            partition_map=dict(
+                getattr(options, "partition_map", None) or ()
+            ),
         )
         try:
             plans = planner.plan()

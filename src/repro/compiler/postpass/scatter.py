@@ -58,7 +58,13 @@ from repro.compiler.postpass.granularity import (
     Transfer,
     plan_transfers,
 )
-from repro.compiler.postpass.partition import Partition, choose_strategy
+from repro.compiler.postpass.partition import (
+    Partition,
+    PartitionError,
+    choose_strategy,
+    parse_strategy,
+    split_loop,
+)
 from repro.compiler.postpass.spmd import (
     IfRegion,
     ParRegion,
@@ -225,12 +231,18 @@ class CommPlanner:
         live_out: Optional[Set[str]] = None,
         use_avpg: bool = True,
         grain_map: Optional[Dict[int, str]] = None,
+        partition_map: Optional[Dict[int, str]] = None,
     ):
         if grain not in GRAINS:
             raise PlanError(f"unknown granularity {grain!r}")
         for rid, g in (grain_map or {}).items():
             if g not in GRAINS:
                 raise PlanError(f"unknown granularity {g!r} for region {rid}")
+        for rid, spec in (partition_map or {}).items():
+            try:
+                parse_strategy(spec)
+            except ValueError as exc:
+                raise PartitionError(str(exc), region_id=rid) from None
         self.use_avpg = use_avpg
         self.symtab = symtab
         self.regions = regions
@@ -240,6 +252,8 @@ class CommPlanner:
         #: Per-region grain overrides (mixed-grain plans, docs/AUTOTUNE.md).
         self.grain_map: Dict[int, str] = dict(grain_map or {})
         self.partition_strategy = partition_strategy
+        #: Per-region partition-strategy overrides (docs/PARTITION.md).
+        self.partition_map: Dict[int, str] = dict(partition_map or {})
         self.avpg: Avpg = build_avpg(regions, symtab, live_out)
         #: (array) -> (nprocs, size) validity mask: slave copy current?
         self._valid: Dict[str, np.ndarray] = {
@@ -317,7 +331,19 @@ class CommPlanner:
     def _par_region(self, region: ParRegion) -> None:
         try:
             self._par_region_inner(region)
+        except PartitionError:
+            raise
         except PlanError as exc:
+            if region.region_id in self.partition_map:
+                # The user (or the tuner) explicitly pinned this region's
+                # strategy; demoting the loop to serial would silently
+                # discard that request.  Escalate with provenance instead.
+                raise PartitionError(
+                    f"override {self.partition_map[region.region_id]!r} "
+                    f"cannot be planned safely: {exc}",
+                    region_id=region.region_id,
+                    loop_var=region.loop.var,
+                ) from None
             exc.loop = region.loop  # let the driver demote and retry
             raise
 
@@ -333,8 +359,37 @@ class CommPlanner:
                 f"parallel loop DO {loop.var}: bounds are not compile-time "
                 f"constants ({exc}); the front end should have kept it serial"
             )
-        strategy = choose_strategy(loop, self.partition_strategy)
-        partition = Partition(pctx=pctx, nprocs=self.nprocs, strategy=strategy)
+        requested = self.partition_map.get(
+            region.region_id, self.partition_strategy
+        )
+        try:
+            spec = choose_strategy(loop, requested)
+            sname, sdim = parse_strategy(spec)
+        except PartitionError:
+            raise
+        except ValueError as exc:
+            raise PartitionError(
+                str(exc), region_id=region.region_id, loop_var=loop.var
+            ) from None
+        if sdim:
+            try:
+                sctx = loop_context(split_loop(loop, sdim), (), {})
+            except (AccessError, ValueError) as exc:
+                raise PartitionError(
+                    f"split dimension {sdim}: {exc}",
+                    region_id=region.region_id,
+                    loop_var=loop.var,
+                ) from None
+            partition = Partition(
+                pctx=sctx,
+                nprocs=self.nprocs,
+                strategy=sname,
+                split_dim=sdim,
+            )
+        else:
+            partition = Partition(
+                pctx=pctx, nprocs=self.nprocs, strategy=sname
+            )
         region.partition = partition
         region.comm_plan = plan
 
@@ -389,6 +444,25 @@ class CommPlanner:
             valid[0, :] = True
 
     # -- per-rank access info -----------------------------------------------
+    def _split_frame(
+        self, loop: F.Do, partition: Partition
+    ) -> Tuple[Sequence[F.Stmt], List[LoopCtx]]:
+        """(statements, enclosing full contexts) around the split loop.
+
+        At ``split_dim`` 0 this is the parallel loop's own body with no
+        enclosing context (the historical shape).  Deeper splits
+        summarize the split loop's body under the *full* contexts of the
+        outer dimensions — every rank runs those in their entirety.
+        """
+        if partition.split_dim == 0:
+            return loop.body, []
+        base: List[LoopCtx] = []
+        cur = loop
+        for _ in range(partition.split_dim):
+            base.append(loop_context(cur, tuple(base), {}))
+            cur = cur.body[0]
+        return cur.body, base
+
     def _rank_regions(
         self,
         loop: F.Do,
@@ -398,17 +472,20 @@ class CommPlanner:
         out: Dict[str, Dict[int, _RankRegions]] = {
             name: {} for name in region_summary.arrays
         }
+        stmts, base = self._split_frame(loop, partition)
         for r in range(self.nprocs):
             rctx = partition.rank_ctx(r)
             if rctx is None:
                 continue
-            summary = summarize_statements(loop.body, self.symtab, [rctx], {})
+            summary = summarize_statements(
+                stmts, self.symtab, base + [rctx], {}
+            )
             needs_exact = any(
                 any(not l.exact for l in arr.writes)
                 for arr in summary.arrays.values()
             )
             if needs_exact:
-                masks = self._per_iteration_masks(loop, rctx)
+                masks = self._per_iteration_masks(loop, rctx, stmts, base)
             for name, arr in summary.arrays.items():
                 size = self.env.sizes[name]
                 writes_exact = all(l.exact for l in arr.writes)
@@ -439,7 +516,11 @@ class CommPlanner:
         return out
 
     def _per_iteration_masks(
-        self, loop: F.Do, rctx: LoopCtx
+        self,
+        loop: F.Do,
+        rctx: LoopCtx,
+        stmts: Sequence[F.Stmt],
+        base: Sequence[LoopCtx],
     ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
         """Exact per-rank masks for widened (triangular) regions."""
         if rctx.count > _PER_ITER_CAP:
@@ -450,7 +531,7 @@ class CommPlanner:
         masks: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         for v in rctx.values():
             summary = summarize_statements(
-                loop.body, self.symtab, (), {rctx.var: v}
+                stmts, self.symtab, tuple(base), {rctx.var: v}
             )
             for name, arr in summary.arrays.items():
                 size = self.env.sizes[name]

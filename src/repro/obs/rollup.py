@@ -43,8 +43,11 @@ class RegionRollup(dict):
     Keys: ``visits``, ``elapsed_s`` (master-observed region time),
     ``mpi_s`` (all ranks' in-region MPI span time), ``mpi_max_s``
     (busiest single rank), ``fence_s``/``fence_max_s`` (the win-drain /
-    fence / barrier subset), ``dma_s``, ``pio_s``, ``dma_bytes``,
-    ``pio_bytes``, ``nic_cpu_s``, ``chan_busy_s``.
+    fence / barrier subset), ``mpi_net_max_s`` (busiest rank's MPI time
+    *minus* its fence share — the in-region analogue of a report's
+    ``comm_max_s``, which counts MPI call time but not fence waiting),
+    ``dma_s``, ``pio_s``, ``dma_bytes``, ``pio_bytes``, ``nic_cpu_s``,
+    ``chan_busy_s``.
     """
 
     FIELDS = (
@@ -54,6 +57,7 @@ class RegionRollup(dict):
         "mpi_max_s",
         "fence_s",
         "fence_max_s",
+        "mpi_net_max_s",
         "dma_s",
         "pio_s",
         "dma_bytes",
@@ -156,9 +160,11 @@ def region_rollup(tracer) -> Dict[int, RegionRollup]:
                 per_rank_fence[(rid, r)] = (
                     per_rank_fence.get((rid, r), 0.0) + dur
                 )
-    for (rid, _r), s in per_rank_mpi.items():
+    for (rid, r), s in per_rank_mpi.items():
         ru = cell(rid)
         ru["mpi_max_s"] = max(ru["mpi_max_s"], s)
+        net = s - per_rank_fence.get((rid, r), 0.0)
+        ru["mpi_net_max_s"] = max(ru["mpi_net_max_s"], net)
     for (rid, _r), s in per_rank_fence.items():
         ru = cell(rid)
         ru["fence_max_s"] = max(ru["fence_max_s"], s)

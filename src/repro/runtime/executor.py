@@ -263,7 +263,15 @@ class _Execution:
         rctx = partition.rank_ctx(rank)
         if rctx is not None:
             interp = self.interps[rank]
-            interp.run_loop(loop, {}, bounds=(rctx.lo, rctx.hi, rctx.step))
+            if partition.split_dim == 0:
+                interp.run_loop(
+                    loop, {}, bounds=(rctx.lo, rctx.hi, rctx.step)
+                )
+            else:
+                # Deeper split dimensions restrict an inner loop of a
+                # perfect nest; the rank runs the outer dimensions in
+                # full over a bounds-rewritten copy (docs/PARTITION.md).
+                interp.run_loop(partition.rank_loop(rank, loop), {})
             yield self._compute(
                 rank, overhead=self.cluster.params.cpu.spmd_compute_overhead
             )
@@ -311,10 +319,15 @@ class _Execution:
     def report(self) -> RunReport:
         program = self.program
         grain_map = dict(program.options.grain_map or ())
+        partition_map = dict(
+            getattr(program.options, "partition_map", None) or ()
+        )
         rep = RunReport(
             nprocs=program.nprocs,
             granularity="mixed" if grain_map else program.options.granularity,
             grain_map=grain_map,
+            partition=getattr(program.options, "partition", "auto"),
+            partition_map=partition_map,
             total_s=self.sim.now,
         )
         for r in range(program.nprocs):

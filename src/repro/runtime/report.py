@@ -17,6 +17,11 @@ class RunReport:
     #: Per-region grain overrides the program was compiled with (empty for
     #: single-grain runs; ``granularity`` reads ``"mixed"`` when set).
     grain_map: Dict[int, str] = field(default_factory=dict)
+    #: Global §5.3 partition strategy the program was compiled with.
+    partition: str = "auto"
+    #: Per-region partition-strategy overrides (empty when the global
+    #: strategy applied everywhere — docs/PARTITION.md).
+    partition_map: Dict[int, str] = field(default_factory=dict)
     #: Simulated wall-clock of the whole program (seconds).
     total_s: float = 0.0
     #: Per-rank compute seconds (interpreter bursts).
@@ -117,6 +122,15 @@ class RunReport:
             out["grain_map"] = {
                 str(rid): self.grain_map[rid] for rid in sorted(self.grain_map)
             }
+        # Same byte-compat contract for the §5.3 partition knobs: rows from
+        # default (auto, no overrides) runs keep their exact bytes.
+        if self.partition != "auto":
+            out["partition"] = self.partition
+        if self.partition_map:
+            out["partition_map"] = {
+                str(rid): self.partition_map[rid]
+                for rid in sorted(self.partition_map)
+            }
         return out
 
     def array_digest(self) -> Optional[str]:
@@ -152,8 +166,15 @@ class RunReport:
             grain += " (" + ", ".join(
                 f"{rid}:{self.grain_map[rid]}" for rid in sorted(self.grain_map)
             ) + ")"
+        part = self.partition
+        if self.partition_map:
+            part += " (" + ", ".join(
+                f"{rid}:{self.partition_map[rid]}"
+                for rid in sorted(self.partition_map)
+            ) + ")"
         lines = [
-            f"run: {self.nprocs} rank(s), granularity={grain}",
+            f"run: {self.nprocs} rank(s), granularity={grain},"
+            f" partition={part}",
             f"  total time        : {self.total_s * 1e3:10.3f} ms",
             f"  compute (max rank): {self.compute_max_s * 1e3:10.3f} ms",
             f"  comm    (max rank): {self.comm_max_s * 1e3:10.3f} ms",

@@ -42,6 +42,7 @@ AXIS_KEYS = (
     "nprocs",
     "backend",
     "granularity",
+    "partition",
     "tune_plan",
     "fast_path",
     "execute",
@@ -54,6 +55,7 @@ _DEFAULTS = {
     "nprocs": 4,
     "backend": "vbus",
     "granularity": "fine",
+    "partition": None,
     "tune_plan": None,
     "fast_path": True,
     "execute": False,
@@ -100,15 +102,45 @@ def _check_config(cfg: Dict) -> Dict:
                     f"bad tune_plan entry {rid!r}: {grain!r} (want "
                     f"region-id -> one of {GRANULARITIES})"
                 )
+    partition = cfg["partition"]
+    if partition is not None:
+        from repro.compiler.postpass.partition import parse_strategy
+
+        def check_spec(spec, where):
+            try:
+                parse_strategy(spec)
+            except ValueError as exc:
+                raise SweepConfigError(
+                    f"bad partition {where}: {exc}"
+                ) from None
+
+        if isinstance(partition, str):
+            if partition != "auto":
+                check_spec(partition, f"value {partition!r}")
+        elif isinstance(partition, dict) and partition:
+            # Per-region overrides: the ``partition_map`` of a TunePlan
+            # JSON artifact (docs/PARTITION.md).
+            for rid, spec in partition.items():
+                if not str(rid).isdigit():
+                    raise SweepConfigError(
+                        f"bad partition region id {rid!r} (want digits)"
+                    )
+                check_spec(spec, f"entry {rid!r}: {spec!r}")
+        else:
+            raise SweepConfigError(
+                "partition must be null, a strategy spec string, or a "
+                f"non-empty region->spec object, got {partition!r}"
+            )
     seed = cfg["seed"]
     if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
         raise SweepConfigError(f"seed must be null or an int, got {seed!r}")
-    # ``tune_plan`` entered the schema after PR 6; omit it when unset so
-    # pre-existing configs keep their exact cache keys and row bytes.
+    # ``tune_plan`` entered the schema after PR 6 and ``partition`` after
+    # PR 8; omit them when unset so pre-existing configs keep their exact
+    # cache keys and row bytes.
     return {
         key: cfg[key]
         for key in AXIS_KEYS
-        if not (key == "tune_plan" and cfg[key] is None)
+        if not (key in ("partition", "tune_plan") and cfg[key] is None)
     }
 
 

@@ -122,20 +122,27 @@ def run_job(config: Dict, key: str) -> Dict:
 
             plan = FaultPlan.from_json(json.dumps(config["faults"]))
         grain_map = config.get("tune_plan") or None
-        if grain_map:
-            # A mixed-grain plan (the ``grain_map`` of a TunePlan JSON
-            # artifact, docs/AUTOTUNE.md): region-id -> grain overrides
-            # on top of the job's base granularity.
+        partition = config.get("partition")
+        if grain_map or partition is not None:
+            # A mixed plan: ``tune_plan`` is the ``grain_map`` of a
+            # TunePlan JSON artifact (docs/AUTOTUNE.md), ``partition``
+            # a global §5.3 strategy spec or the per-region
+            # ``partition_map`` (docs/PARTITION.md).
             from repro.compiler.pipeline import CompileOptions
 
-            prog = compile_source(
-                source,
-                options=CompileOptions(
-                    nprocs=config["nprocs"],
-                    granularity=config["granularity"],
-                    grain_map={int(k): v for k, v in grain_map.items()},
-                ),
+            kw = dict(
+                nprocs=config["nprocs"],
+                granularity=config["granularity"],
             )
+            if grain_map:
+                kw["grain_map"] = {int(k): v for k, v in grain_map.items()}
+            if isinstance(partition, dict):
+                kw["partition_map"] = {
+                    int(k): v for k, v in partition.items()
+                }
+            elif partition is not None:
+                kw["partition"] = partition
+            prog = compile_source(source, options=CompileOptions(**kw))
         else:
             prog = compile_source(
                 source,

@@ -35,6 +35,7 @@ from typing import List, Optional
 
 from repro.compiler.pipeline import CompileOptions, compile_source
 from repro.compiler.postpass.granularity import GRAINS
+from repro.compiler.postpass.partition import PartitionError
 from repro.faults.plan import FaultPlan
 from repro.mpi2.exceptions import MpiFaultError
 from repro.obs.export import (
@@ -48,6 +49,19 @@ from repro.sweep.runner import BACKENDS
 from repro.tools.autotune import METRICS, choose_granularity
 
 __all__ = ["main"]
+
+
+def _partition_spec(value: str) -> str:
+    """argparse type for --partition: auto or a concrete strategy spec."""
+    if value == "auto":
+        return value
+    from repro.compiler.postpass.partition import parse_strategy
+
+    try:
+        parse_strategy(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -64,9 +78,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--partition",
-        choices=("auto", "block", "cyclic"),
+        type=_partition_spec,
         default="auto",
-        help="work partitioning strategy (paper §5.3)",
+        metavar="SPEC",
+        help="work partitioning strategy (paper §5.3): auto, block, "
+        "cyclic, or block:D / cyclic:D to split dimension D of a "
+        "perfect nest (docs/PARTITION.md)",
     )
 
 
@@ -208,6 +225,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tune each parallel region separately (mixed-grain plan) "
         "instead of picking one global grain",
+    )
+    pa.add_argument(
+        "--tune-partition",
+        action="store_true",
+        help="also tune the §5.3 partition strategy per region "
+        "(joint grain x strategy search; needs --per-region; "
+        "docs/PARTITION.md)",
     )
     pa.add_argument(
         "--plan-out",
@@ -412,6 +436,13 @@ def _cmd_sweep(args) -> int:
 def _cmd_autotune(args) -> int:
     src = _source_text(args.source)
     faults = _load_faults(args)
+    if args.tune_partition and not args.per_region:
+        print(
+            "autotune: --tune-partition needs --per-region (the global "
+            "tuner has no per-region strategy to carry)",
+            file=sys.stderr,
+        )
+        return 2
     if args.per_region:
         from repro.sweep.cache import DEFAULT_CACHE_DIR
         from repro.tools.tuneplan import DEFAULT_EPSILON, tune_per_region
@@ -429,6 +460,7 @@ def _cmd_autotune(args) -> int:
             ),
             cache_dir=cache_dir,
             faults=faults,
+            tune_partition=args.tune_partition,
         )
         print(plan.summary())
         if args.plan_out is not None:
@@ -470,6 +502,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except MpiFaultError as exc:
         print(f"fault: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 3
+    except PartitionError as exc:
+        # Bad partition requests carry their region provenance
+        # (docs/PARTITION.md) — surface them as a clean CLI error
+        # instead of a traceback.
+        print(f"partition: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

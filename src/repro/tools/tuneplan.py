@@ -24,6 +24,17 @@ serializes to a canonical JSON artifact (``repro run --tune-plan``), and
 is content-address-cached through :mod:`repro.sweep.cache` keyed on
 (source, backend, nprocs, metric, epsilon) so warm calls skip even the
 single profile.
+
+With ``tune_partition=True`` the same pruned search runs over the joint
+(grain, §5.3 partition strategy) space: six compile variants feed the
+analytic tier, whose price adds an **imbalance term** — per-strategy
+per-rank iteration weights (inner trip counts) skewed against the
+region's compute time from one baseline instrumented profile — so block
+on a triangular loop prices its fence-wait skew without simulating it.
+The plan then carries ``partition_map`` overrides only where the tuned
+choice differs from what ``auto`` would pick (docs/PARTITION.md), so a
+tuner that agrees with the paper's static policy emits a byte-identical
+artifact to the grain-only plan.
 """
 
 from __future__ import annotations
@@ -34,8 +45,16 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.compiler.analysis.access import AccessError, loop_context
+from repro.compiler.frontend import fast as F
 from repro.compiler.pipeline import CompileOptions, compile_source
 from repro.compiler.postpass.granularity import GRAINS
+from repro.compiler.postpass.partition import (
+    STRATEGIES,
+    Partition,
+    choose_strategy,
+    parse_strategy,
+)
 from repro.compiler.postpass.scatter import RegionCommPlan
 from repro.runtime.executor import run_program
 from repro.sweep.cache import (
@@ -165,10 +184,14 @@ class RegionDecision:
     how: str
     #: Relative margin of the winner over the runner-up at decision time.
     margin: float
-    #: grain -> analytic metric value (seconds).
+    #: candidate -> analytic metric value (seconds).  Candidates are
+    #: grains (``"fine"``) in grain-only searches, ``"grain/strategy"``
+    #: labels (``"fine/cyclic"``) in joint partition searches.
     model: Dict[str, float] = field(default_factory=dict)
-    #: grain -> measured per-region metric (profile-decided regions only).
+    #: candidate -> measured per-region metric (profile-decided only).
     measured: Dict[str, float] = field(default_factory=dict)
+    #: Chosen §5.3 strategy spec (joint partition searches only).
+    partition: Optional[str] = None
 
     def to_jsonable(self) -> Dict:
         out = {
@@ -182,6 +205,8 @@ class RegionDecision:
             out["measured"] = {
                 g: self.measured[g] for g in sorted(self.measured)
             }
+        if self.partition is not None:
+            out["partition"] = self.partition
         return out
 
     @classmethod
@@ -193,6 +218,7 @@ class RegionDecision:
             margin=float(doc["margin"]),
             model=dict(doc.get("model", {})),
             measured=dict(doc.get("measured", {})),
+            partition=doc.get("partition"),
         )
 
 
@@ -212,12 +238,18 @@ class TunePlan:
     #: Instrumented profile runs the search needed (0 on a warm cache hit
     #: only because the field round-trips from the cached artifact).
     profiles: int = 0
+    #: True when the search also tuned the §5.3 partition strategy.
+    tune_partition: bool = False
+    #: region_id -> strategy spec, only where the tuned choice differs
+    #: from the ``auto`` resolution (so an all-agree plan stays empty and
+    #: the artifact byte-identical to a grain-only plan).
+    partition_map: Dict[int, str] = field(default_factory=dict)
     #: True when this plan came from the on-disk plan cache.
     cached: bool = field(default=False, compare=False)
 
     @property
     def mixed(self) -> bool:
-        return bool(self.grain_map)
+        return bool(self.grain_map) or bool(self.partition_map)
 
     def options(self, **overrides) -> CompileOptions:
         """The :class:`CompileOptions` that realize this plan."""
@@ -226,11 +258,13 @@ class TunePlan:
             granularity=self.default_grain,
             grain_map=self.grain_map or None,
         )
+        if self.partition_map:
+            kw["partition_map"] = self.partition_map
         kw.update(overrides)
         return CompileOptions(**kw)
 
     def to_jsonable(self) -> Dict:
-        return {
+        out = {
             "kind": "tuneplan",
             "metric": self.metric,
             "nprocs": self.nprocs,
@@ -245,6 +279,15 @@ class TunePlan:
             "profiles": self.profiles,
             "decisions": [d.to_jsonable() for d in self.decisions],
         }
+        # Partition fields appear only in partition-tuned plans, keeping
+        # grain-only artifacts (and their committed bytes) unchanged.
+        if self.tune_partition:
+            out["tune_partition"] = True
+            out["partition_map"] = {
+                str(rid): self.partition_map[rid]
+                for rid in sorted(self.partition_map)
+            }
+        return out
 
     @classmethod
     def from_jsonable(cls, doc: Dict) -> "TunePlan":
@@ -267,6 +310,11 @@ class TunePlan:
                 for d in doc.get("decisions", [])
             ],
             profiles=int(doc.get("profiles", 0)),
+            tune_partition=bool(doc.get("tune_partition", False)),
+            partition_map={
+                int(rid): s
+                for rid, s in doc.get("partition_map", {}).items()
+            },
         )
 
     def save(self, path: str) -> None:
@@ -288,15 +336,29 @@ class TunePlan:
         )
         lines = [head]
         for d in sorted(self.decisions, key=lambda d: d.region_id):
-            star = "*" if d.region_id in self.grain_map else " "
+            star = (
+                "*"
+                if d.region_id in self.grain_map
+                or d.region_id in self.partition_map
+                else " "
+            )
+            what = d.grain
+            if d.partition is not None:
+                what = f"{d.grain}/{d.partition}"
             lines.append(
-                f" {star} region {d.region_id}: {d.grain:7s} "
+                f" {star} region {d.region_id}: {what:7s} "
                 f"[{d.how}, margin {d.margin * 100:.1f}%]"
             )
         if self.mixed:
+            overrides = len(self.grain_map)
+            extra = ""
+            if self.tune_partition:
+                extra = (
+                    f", {len(self.partition_map)} partition override(s)"
+                )
             lines.append(
                 f"  mixed plan: default {self.default_grain}, "
-                f"{len(self.grain_map)} override(s); "
+                f"{overrides} override(s){extra}; "
                 f"{self.profiles} profile run(s)"
             )
         else:
@@ -309,24 +371,21 @@ class TunePlan:
         return "\n".join(lines)
 
 
+def _report_value(report, metric: str) -> float:
+    """The whole-program flavour of a tuning metric (flip probes)."""
+    if metric == "comm":
+        return report.comm_max_s
+    if metric == "comm_cpu":
+        return report.comm_cpu_max_s
+    return report.total_s
+
+
 def _measured_value(rollup, metric: str) -> float:
     if metric == "comm":
         return rollup.mpi_max_s
     if metric == "comm_cpu":
         return rollup.nic_cpu_s
     return rollup.elapsed_s
-
-
-def _rank_grains(model: Dict[str, ModelCost], metric: str) -> List[str]:
-    """Grains best-first: metric value, then messages, then GRAINS order."""
-    return sorted(
-        GRAINS,
-        key=lambda g: (
-            model[g].metric(metric),
-            model[g].messages,
-            GRAINS.index(g),
-        ),
-    )
 
 
 def _margin(values: List[float]) -> float:
@@ -339,21 +398,120 @@ def _margin(values: List[float]) -> float:
     return (second - best) / second
 
 
+def _cand_key(grain: str, spec: Optional[str]) -> str:
+    """Stable label of a (grain, strategy) candidate for JSON dicts."""
+    return grain if spec is None else f"{grain}/{spec}"
+
+
+def _par_loops(program) -> Dict[int, F.Do]:
+    """region_id -> parallel loop, walking the SPMD region tree."""
+    from repro.compiler.postpass.spmd import IfRegion, ParRegion, SeqLoop
+
+    loops: Dict[int, F.Do] = {}
+
+    def visit(regions):
+        for region in regions:
+            if isinstance(region, ParRegion):
+                loops[region.region_id] = region.loop
+            elif isinstance(region, SeqLoop):
+                visit(region.body)
+            elif isinstance(region, IfRegion):
+                visit(region.then)
+                for _c, blk in region.elifs:
+                    visit(blk)
+                visit(region.orelse)
+
+    visit(program.regions)
+    return loops
+
+
+#: Loops wider than this skip the per-iteration weight analysis (the
+#: imbalance term degrades to zero and the profile tier arbitrates).
+_MAX_WEIGHT_ITERS = 4096
+
+
+def _nest_weight(stmts, env) -> float:
+    """Approximate work of one parallel iteration: nested trip counts,
+    with deeper index-dependent bounds evaluated at the loop midpoint."""
+    w = 0.0
+    for s in stmts:
+        w += 1.0
+        if isinstance(s, F.Do):
+            ctx = loop_context(s, (), env)
+            count = ctx.count
+            if count <= 0:
+                continue
+            inner_env = dict(env)
+            inner_env[s.var] = ctx.lo + ((count - 1) // 2) * ctx.step
+            w += count * _nest_weight(s.body, inner_env)
+        elif isinstance(s, F.If):
+            w += _nest_weight(s.then, env)
+            for _c, blk in s.elifs:
+                w += _nest_weight(blk, env)
+            w += _nest_weight(s.orelse, env)
+    return w
+
+
+def _strategy_imbalance(loop: F.Do, nprocs: int) -> Dict[str, float]:
+    """Per-strategy load-imbalance factor ``maxW / meanW - 1`` of one
+    parallel loop, from per-iteration inner trip counts.
+
+    ``{}`` when the bounds cannot be resolved statically (the term then
+    contributes nothing and ambiguity falls through to the profile
+    tier).  This is what makes block-on-triangular expensive in the
+    model: the heavy ranks' fence-wait skew shows up in the ``comm`` and
+    ``total`` metrics, and the factor scales the region's measured
+    compute time to price it.
+    """
+    try:
+        pctx = loop_context(loop, (), {})
+    except AccessError:
+        return {}
+    n = pctx.count
+    if n <= 0 or n > _MAX_WEIGHT_ITERS:
+        return {}
+    try:
+        values = list(pctx.values())
+        weights = [_nest_weight(loop.body, {pctx.var: v}) for v in values]
+    except AccessError:
+        return {}
+    out: Dict[str, float] = {}
+    for sname in STRATEGIES:
+        part = Partition(pctx=pctx, nprocs=nprocs, strategy=sname)
+        per_rank = [0.0] * nprocs
+        for v, w in zip(values, weights):
+            per_rank[part.owner_of(v)] += w
+        mean = sum(per_rank) / nprocs
+        out[sname] = max(per_rank) / mean - 1.0 if mean > 0 else 0.0
+    return out
+
+
 def plan_cache_key(
-    source: str, backend: str, nprocs: int, metric: str, epsilon: float
+    source: str,
+    backend: str,
+    nprocs: int,
+    metric: str,
+    epsilon: float,
+    tune_partition: bool = False,
 ) -> str:
-    """Content-address of one tuning problem (shares the sweep cache)."""
+    """Content-address of one tuning problem (shares the sweep cache).
+
+    The ``partition`` field joins the key only for joint searches, so
+    every grain-only key (and any cached plan stored under one) is
+    untouched by the partition axis.
+    """
     sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
-    return job_key(
-        {
-            "kind": "tuneplan",
-            "source_sha256": sha,
-            "backend": backend,
-            "nprocs": nprocs,
-            "metric": metric,
-            "epsilon": epsilon,
-        }
-    )
+    doc = {
+        "kind": "tuneplan",
+        "source_sha256": sha,
+        "backend": backend,
+        "nprocs": nprocs,
+        "metric": metric,
+        "epsilon": epsilon,
+    }
+    if tune_partition:
+        doc["partition"] = True
+    return job_key(doc)
 
 
 def _resolve_backend(backend: Optional[str], cluster_params, nprocs: int):
@@ -379,6 +537,7 @@ def tune_per_region(
     epsilon: float = DEFAULT_EPSILON,
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     faults=None,
+    tune_partition: bool = False,
 ) -> TunePlan:
     """Derive a per-region mixed-grain :class:`TunePlan` for ``source``.
 
@@ -387,6 +546,12 @@ def tune_per_region(
     plan cache — there is no stable name to key it under).  ``faults``
     only affects the profile runs, never the plan artifact: fault plans
     perturb timing, not which transfers a grain emits.
+
+    ``tune_partition=True`` widens every tier to the joint
+    (grain, §5.3 strategy) space: block and cyclic variants are compiled
+    alongside the three grains, the analytic price gains a trace-scaled
+    load-imbalance term, and the plan's ``partition_map`` records only
+    the regions where the tuned strategy disagrees with ``auto``.
 
     Warm calls (``cache_dir`` holds a plan for this exact problem)
     return the cached plan without compiling or profiling anything.
@@ -402,7 +567,8 @@ def tune_per_region(
     key = None
     if cacheable:
         key = plan_cache_key(
-            source, backend or "vbus", nprocs, metric, epsilon
+            source, backend or "vbus", nprocs, metric, epsilon,
+            tune_partition=tune_partition,
         )
         row = load_row(cache_dir, key)
         if row is not None:
@@ -412,61 +578,162 @@ def tune_per_region(
 
     params = _resolve_backend(backend, cluster_params, nprocs)
 
-    # 1. Compile every global grain; the cost model reads their plans.
-    programs = {
-        g: compile_source(source, nprocs=nprocs, granularity=g)
+    # 1. Compile every candidate variant; the cost model reads their
+    #    plans.  Grain-only searches compile the three global grains;
+    #    joint searches add the forced-block and forced-cyclic variants
+    #    (strategy ``None`` means "the program default", i.e. auto).
+    strategies: Tuple[Optional[str], ...] = (
+        STRATEGIES if tune_partition else (None,)
+    )
+    programs: Dict[Tuple[str, Optional[str]], object] = {}
+    for s in strategies:
+        for g in GRAINS:
+            kw = {} if s is None else {"partition": s}
+            programs[(g, s)] = compile_source(
+                source, nprocs=nprocs, granularity=g, **kw
+            )
+    region_ids = sorted(programs[(GRAINS[0], strategies[0])].plans)
+    # A forced strategy that demotes regions (PlanError fallback) shifts
+    # region numbering; drop such variants rather than misattribute.
+    candidates = [
+        (g, s)
+        for s in strategies
         for g in GRAINS
-    }
-    region_ids = sorted(programs[GRAINS[0]].plans)
+        if sorted(programs[(g, s)].plans) == region_ids
+    ]
+
+    # Joint searches price load imbalance: per-strategy iteration-weight
+    # skew, scaled by each region's compute time from one baseline
+    # instrumented profile (the trace-driven part of the model).
+    auto_spec: Dict[int, str] = {}
+    imb: Dict[int, Dict[str, float]] = {rid: {} for rid in region_ids}
+    compute_s: Dict[int, float] = {}
+    profiles = 0
+    if tune_partition:
+        base_prog = compile_source(
+            source, nprocs=nprocs, granularity=GRAINS[0]
+        )
+        loops = _par_loops(base_prog)
+        for rid in region_ids:
+            loop = loops.get(rid)
+            if loop is None:
+                continue
+            auto_spec[rid] = choose_strategy(loop, "auto")
+            imb[rid] = _strategy_imbalance(loop, nprocs)
+        skewed = metric != "comm_cpu" and any(
+            factor > 1e-12
+            for factors in imb.values()
+            for factor in factors.values()
+        )
+        if skewed:
+            report = run_program(
+                base_prog,
+                cluster_params=params,
+                execute=False,
+                trace=True,
+                faults=faults,
+            )
+            profiles += 1
+            from repro.obs import region_rollup
+
+            rollups = region_rollup(report.trace)
+            for rid in region_ids:
+                roll = rollups.get(rid)
+                compute_s[rid] = (
+                    max(0.0, roll.elapsed_s - roll.mpi_max_s)
+                    if roll is not None
+                    else 0.0
+                )
+
+    def _pref(rid: int, s: Optional[str]) -> Tuple[int, int]:
+        """Tie-break suffix: prefer the auto strategy, then STRATEGIES
+        order (a no-op for grain-only candidates)."""
+        if s is None:
+            return (0, 0)
+        return (0 if s == auto_spec.get(rid) else 1, STRATEGIES.index(s))
 
     # 2. Analytic tier: decide regions with a clear model margin.
     decisions: Dict[int, RegionDecision] = {}
-    ambiguous: Dict[int, List[str]] = {}
-    model_costs: Dict[int, Dict[str, ModelCost]] = {}
+    ambiguous: Dict[int, List[Tuple[str, Optional[str]]]] = {}
+    model_costs: Dict[int, Dict[Tuple[str, Optional[str]], ModelCost]] = {}
+    family_best: Dict[
+        int, Dict[Optional[str], Tuple[str, Optional[str]]]
+    ] = {}
     for rid in region_ids:
         costs = {
-            g: region_model_cost(programs[g].plans[rid], params)
-            for g in GRAINS
+            c: region_model_cost(programs[c].plans[rid], params)
+            for c in candidates
         }
         model_costs[rid] = costs
-        ranked = _rank_grains(costs, metric)
-        values = [costs[g].metric(metric) for g in ranked]
+        value = {}
+        for (g, s) in candidates:
+            v = costs[(g, s)].metric(metric)
+            if s is not None and metric != "comm_cpu":
+                v += imb[rid].get(s, 0.0) * compute_s.get(rid, 0.0)
+            value[(g, s)] = v
+        ranked = sorted(
+            candidates,
+            key=lambda c: (
+                value[c],
+                costs[c].messages,
+                _pref(rid, c[1]),
+                GRAINS.index(c[0]),
+            ),
+        )
+        values = [value[c] for c in ranked]
         margin = _margin(values)
+        best_g, best_s = ranked[0]
         decision = RegionDecision(
             region_id=rid,
-            grain=ranked[0],
+            grain=best_g,
             how="model",
             margin=margin,
-            model={g: costs[g].metric(metric) for g in GRAINS},
+            model={_cand_key(g, s): value[(g, s)] for (g, s) in candidates},
+            partition=best_s if tune_partition else None,
         )
         decisions[rid] = decision
+        # The model-best candidate per strategy family, for the family
+        # arbitration tier below (ranked order already applied the
+        # tie-break, so the first hit per family is its best).
+        fam_best: Dict[Optional[str], Tuple[str, Optional[str]]] = {}
+        for c in ranked:
+            fam_best.setdefault(c[1], c)
+        family_best[rid] = fam_best
         if margin < epsilon:
             # Candidates within epsilon of the leader go to the profile —
-            # except exact structural duplicates: grains whose region
+            # except exact structural duplicates: candidates whose region
             # plans price identically (elapsed, CPU, *and* messages) emit
             # equivalent transfer schedules (e.g. the §5.6 bound check
             # demoted every grain to fine), so the deterministic
             # simulator would measure them identically too.  Profiling a
             # duplicate is provably wasted work; the ranked order already
-            # applied the tie-break.
+            # applied the tie-break.  Joint searches restrict this tier
+            # to the *winner's strategy family*: the model ranks grains
+            # reliably within one family, while cross-family gaps are
+            # arbitrated by dedicated flip probes on the whole-program
+            # metric (below), not by span attribution.
             cands = [
-                g
-                for g, v in zip(ranked, values)
+                c
+                for c, v in zip(ranked, values)
                 if values[0] <= 0.0 or (v - values[0]) / max(v, 1e-30) < epsilon
             ]
+            if tune_partition:
+                cands = [c for c in cands if c[1] == ranked[0][1]]
             cands = [
-                g
-                for i, g in enumerate(cands)
-                if not any(costs[g] == costs[h] for h in cands[:i])
+                c
+                for i, c in enumerate(cands)
+                if not any(
+                    costs[c] == costs[h] and value[c] == value[h]
+                    for h in cands[:i]
+                )
             ]
             if len(cands) > 1:
                 ambiguous[rid] = cands
 
     # 3. Profile tier: one instrumented run per candidate rank.  Every
     #    ambiguous region switches to its k-th candidate in run k, so the
-    #    run count is the longest candidate list (<= len(GRAINS)), not
-    #    the number of ambiguous regions.
-    profiles = 0
+    #    run count is the longest candidate list, not the number of
+    #    ambiguous regions.
     if ambiguous:
         rounds = max(len(c) for c in ambiguous.values())
         measured: Dict[int, Dict[str, float]] = {
@@ -477,13 +744,24 @@ def tune_per_region(
             gmap = {
                 rid: decisions[rid].grain for rid in region_ids
             }  # model-best everywhere...
+            pmap = {
+                rid: decisions[rid].partition
+                for rid in region_ids
+                if decisions[rid].partition is not None
+            }
             probe = {
                 rid: cands[min(k, len(cands) - 1)]
                 for rid, cands in ambiguous.items()
             }
-            gmap.update(probe)  # ...except ambiguous regions probe cand k
+            for rid, (g, s) in probe.items():
+                gmap[rid] = g  # ...except ambiguous regions probe cand k
+                if s is not None:
+                    pmap[rid] = s
             opts = CompileOptions(
-                nprocs=nprocs, granularity=base_grain, grain_map=gmap
+                nprocs=nprocs,
+                granularity=base_grain,
+                grain_map=gmap,
+                partition_map=pmap or None,
             )
             prog = compile_source(source, options=opts)
             report = run_program(
@@ -497,33 +775,162 @@ def tune_per_region(
             from repro.obs import region_rollup
 
             rollups = region_rollup(report.trace)
-            for rid, grain in probe.items():
-                if grain in measured[rid]:
+            for rid, cand in probe.items():
+                label = _cand_key(*cand)
+                if label in measured[rid]:
                     continue  # short candidate list re-ran its last cand
                 roll = rollups.get(rid)
-                measured[rid][grain] = (
+                measured[rid][label] = (
                     _measured_value(roll, metric) if roll is not None else 0.0
                 )
         for rid, cands in ambiguous.items():
             vals = measured[rid]
             ranked = sorted(
                 cands,
-                key=lambda g: (
-                    vals.get(g, math.inf),
-                    model_costs[rid][g].messages,
-                    GRAINS.index(g),
+                key=lambda c: (
+                    vals.get(_cand_key(*c), math.inf),
+                    model_costs[rid][c].messages,
+                    _pref(rid, c[1]),
+                    GRAINS.index(c[0]),
                 ),
             )
-            ordered = [vals[g] for g in ranked if g in vals]
+            ordered = [
+                vals[_cand_key(*c)] for c in ranked if _cand_key(*c) in vals
+            ]
+            best_g, best_s = ranked[0]
             decisions[rid] = replace(
                 decisions[rid],
-                grain=ranked[0],
+                grain=best_g,
                 how="profile",
                 margin=_margin(ordered),
                 measured=dict(vals),
+                partition=best_s if tune_partition else None,
             )
 
-    # 4. Compress: majority grain becomes the default, the rest override.
+    # 3b. Family arbitration tier (joint searches only).  The analytic
+    #     model ranks grains within one strategy family, but its
+    #     scheduling assumptions (scatter serialization, collect
+    #     overlap, one message per strided descriptor) bias block and
+    #     cyclic differently, and unlike the grain axis those biases do
+    #     not cancel across families — the model can be confidently
+    #     wrong about block-vs-cyclic.  Span attribution cannot referee
+    #     either: region rollups double-count collective internals and
+    #     miss communication deferred past the region span.  So every
+    #     cross-family choice is measured on the *whole-program* metric:
+    #     run the plan-so-far once, then flip one region at a time to
+    #     the rival family's model-best and keep the flip iff it
+    #     strictly improves the program.  Flip configs usually coincide
+    #     with uniform variants compiled in step 1, so the compile cache
+    #     makes each probe one value-mode run.
+    if tune_partition:
+        flips: Dict[int, List[Tuple[str, Optional[str]]]] = {}
+        for rid in region_ids:
+            win = (decisions[rid].grain, decisions[rid].partition)
+            model_vals = decisions[rid].model
+            for fam, cand in family_best[rid].items():
+                if fam == win[1]:
+                    continue
+                same = (
+                    model_costs[rid][cand] == model_costs[rid][win]
+                    and model_vals.get(_cand_key(*cand))
+                    == model_vals.get(_cand_key(*win))
+                )
+                if same:  # structural duplicates measure identically
+                    continue
+                # The model's cross-family bias has a *direction*: it
+                # prices a strided cyclic descriptor as one message
+                # (optimistic) and serializes every block scatter
+                # (pessimistic), so it flatters cyclic.  When block wins
+                # the model by a clear margin despite that handicap, the
+                # verdict is trustworthy; only a cyclic model win (or a
+                # near-tie) needs the measured flip.
+                wv = model_vals.get(_cand_key(*win))
+                cv = model_vals.get(_cand_key(*cand))
+                if (
+                    win[1] is not None
+                    and parse_strategy(win[1])[0] == "block"
+                    and cand[1] is not None
+                    and parse_strategy(cand[1])[0] == "cyclic"
+                    and wv is not None
+                    and cv is not None
+                    and cv > 0.0
+                    and (cv - wv) / cv >= epsilon
+                ):
+                    continue
+                flips.setdefault(rid, []).append(cand)
+        if flips:
+            def _mixed_report(gmap, pmap):
+                # Normalize so configs that coincide with an
+                # already-compiled variant hit the compile cache: a
+                # partition override equal to the region's auto choice
+                # compiles the same program without the override, and a
+                # grain map with one value is just that granularity.
+                pmap = {
+                    r: s for r, s in pmap.items()
+                    if s != auto_spec.get(r)
+                }
+                g0 = gmap[region_ids[0]]
+                uniform_grain = all(g == g0 for g in gmap.values())
+                opts = CompileOptions(
+                    nprocs=nprocs,
+                    granularity=g0,
+                    grain_map=None if uniform_grain else gmap,
+                    partition_map=pmap or None,
+                )
+                prog = compile_source(source, options=opts)
+                return run_program(
+                    prog, cluster_params=params, execute=False, faults=faults
+                )
+
+            base_gmap = {rid: decisions[rid].grain for rid in region_ids}
+            base_pmap = {
+                rid: decisions[rid].partition
+                for rid in region_ids
+                if decisions[rid].partition is not None
+            }
+            base_val = _report_value(
+                _mixed_report(base_gmap, base_pmap), metric
+            )
+            profiles += 1
+            for rid in sorted(flips):
+                base_key = _cand_key(
+                    decisions[rid].grain, decisions[rid].partition
+                )
+                vals = dict(decisions[rid].measured)
+                vals[base_key] = base_val
+                best_val = base_val
+                best_cand = None
+                for cand in flips[rid]:
+                    gmap = dict(base_gmap)
+                    pmap = dict(base_pmap)
+                    gmap[rid] = cand[0]
+                    if cand[1] is not None:
+                        pmap[rid] = cand[1]
+                    val = _report_value(_mixed_report(gmap, pmap), metric)
+                    profiles += 1
+                    vals[_cand_key(*cand)] = val
+                    if val < best_val:
+                        best_val, best_cand = val, cand
+                ordered = sorted(vals[k] for k in vals)
+                if best_cand is not None:
+                    decisions[rid] = replace(
+                        decisions[rid],
+                        grain=best_cand[0],
+                        partition=best_cand[1],
+                        how="profile",
+                        margin=_margin(ordered),
+                        measured=vals,
+                    )
+                else:
+                    decisions[rid] = replace(
+                        decisions[rid],
+                        how="profile",
+                        margin=_margin(ordered),
+                        measured=vals,
+                    )
+
+    # 4. Compress: majority grain becomes the default, the rest override;
+    #    partition overrides only where the choice disagrees with auto.
     chosen = [decisions[rid].grain for rid in region_ids]
     if chosen:
         default = max(
@@ -536,6 +943,14 @@ def tune_per_region(
         for rid in region_ids
         if decisions[rid].grain != default
     }
+    partition_map: Dict[int, str] = {}
+    if tune_partition:
+        partition_map = {
+            rid: decisions[rid].partition
+            for rid in region_ids
+            if decisions[rid].partition is not None
+            and decisions[rid].partition != auto_spec.get(rid)
+        }
 
     plan = TunePlan(
         metric=metric,
@@ -547,6 +962,8 @@ def tune_per_region(
         source_sha256=hashlib.sha256(source.encode("utf-8")).hexdigest(),
         decisions=[decisions[rid] for rid in region_ids],
         profiles=profiles,
+        tune_partition=tune_partition,
+        partition_map=partition_map,
     )
     if cacheable:
         store_row(cache_dir, key, plan.to_jsonable())

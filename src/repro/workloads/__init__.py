@@ -47,7 +47,7 @@ class WorkloadSpecError(ValueError):
 #: Spec kinds with real Fortran sources.  ``CRASH`` (test-only: kills the
 #: worker process running it) parses but has no source here — it lives in
 #: :mod:`repro.sweep.runner`, which pins the engine's lost-worker path.
-WORKLOAD_KINDS = ("MM", "SWIM", "CFFZINIT", "JACOBI", "XOVER")
+WORKLOAD_KINDS = ("MM", "SWIM", "CFFZINIT", "JACOBI", "XOVER", "PXOVER")
 
 _SPEC_RE = re.compile(r"^([A-Z]+)(?:-(\d+)(?:x(\d+))?)?$")
 
@@ -59,7 +59,8 @@ def parse_spec(spec: str) -> Tuple[str, Optional[int], Optional[int]]:
     SIZE = n), ``SWIM`` (shallow water, SIZE = n, EXTRA = itmax),
     ``CFFZINIT`` (trig tables, SIZE = m), ``JACOBI`` (SIZE = n, EXTRA =
     steps), ``XOVER`` (the mixed-grain crossover kernel, SIZE = n,
-    EXTRA = stride), and the test-only ``CRASH``.  Raises
+    EXTRA = stride), ``PXOVER`` (the mixed-partition crossover kernel,
+    SIZE = n, EXTRA = width), and the test-only ``CRASH``.  Raises
     :class:`WorkloadSpecError` on anything else.
     """
     m = _SPEC_RE.match(spec or "")
@@ -93,6 +94,10 @@ def source_for(spec: str) -> str:
     if kind == "XOVER":
         return synthetic.crossover_kernel(
             size, stride=extra if extra is not None else 8
+        )
+    if kind == "PXOVER":
+        return synthetic.partition_crossover_kernel(
+            size, width=extra if extra is not None else 4
         )
     raise WorkloadSpecError(f"workload {spec!r} has no Fortran source")
 

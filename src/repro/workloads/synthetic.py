@@ -10,6 +10,7 @@ __all__ = [
     "stride_kernel",
     "phased_stride_kernel",
     "crossover_kernel",
+    "partition_crossover_kernel",
     "copy_kernel",
     "reduction_kernel",
     "triangular_kernel",
@@ -126,6 +127,55 @@ def crossover_kernel(n: int, stride: int = 8) -> str:
         DO J = 1, NC
           C(I) = C(I) + X(I, J)
         ENDDO
+      ENDDO
+      END
+"""
+
+
+def partition_crossover_kernel(n: int, width: int = 4) -> str:
+    """Two parallel regions with *opposing* §5.3 partition preferences.
+
+    Region 1 is a triangular nest (``DO I / DO J = 1, I``): under block
+    partitioning the high-``I`` ranks carry quadratically more work, so
+    the light ranks burn the difference in fence waits — which the
+    ``comm`` metric counts — while cyclic interleaving balances it.
+    Region 2 is a 3-point stencil over a ``width * n`` vector: a block
+    rank reads one contiguous chunk (plus halo) and writes one
+    contiguous run, but a cyclic rank's read set is a comb of 3-element
+    windows no single (offset, count, stride) transfer can describe, so
+    its scatters fall back to wider regions and strided traffic that
+    every backend prices above the block plan.  No single global
+    strategy wins both regions; the paper's §5.3 ``auto`` rule (cyclic
+    for triangular, block otherwise) *is* the mixed plan, which makes
+    this the canonical workload for the partition autotuner and its
+    results-invariance contract (docs/PARTITION.md).
+
+    The init loop is deliberately sequential (a recurrence) so the
+    master owns all data and both parallel regions pay full, comparable
+    scatters and collects.
+    """
+    if n < 8:
+        raise ValueError("n must be >= 8")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return f"""
+      PROGRAM PXOVERK
+      PARAMETER (N = {n}, NR = {width * n})
+      REAL*8 L(N, N), X(NR), Y(NR)
+      REAL*8 T
+      INTEGER I, J
+      T = 0.0
+      DO I = 1, NR
+        T = T + 0.5
+        X(I) = T
+      ENDDO
+      DO I = 1, N
+        DO J = 1, I
+          L(J, I) = DBLE(I) + 0.001 * DBLE(J)
+        ENDDO
+      ENDDO
+      DO I = 2, NR - 1
+        Y(I) = (X(I-1) + X(I) + X(I+1)) * 0.5
       ENDDO
       END
 """

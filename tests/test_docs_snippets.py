@@ -23,6 +23,8 @@ DOC_FILES = (
     ROOT / "docs" / "FAULTS.md",
     ROOT / "docs" / "SWEEP.md",
     ROOT / "docs" / "AUTOTUNE.md",
+    ROOT / "docs" / "PARTITION.md",
+    ROOT / "docs" / "INDEX.md",
 )
 
 #: Snippets matching any of these substrings get the ``slow`` marker.

@@ -10,6 +10,8 @@ from repro.compiler.postpass.partition import (
     Partition,
     choose_strategy,
     is_triangular,
+    parse_strategy,
+    split_candidates,
 )
 
 
@@ -131,3 +133,111 @@ def test_triangular_detection_and_policy():
     assert choose_strategy(square, "auto") == "block"
     with pytest.raises(ValueError):
         choose_strategy(square, "zigzag")
+
+
+TRIANGULAR = """
+      PROGRAM P
+      REAL*8 L(12,12)
+      DO I = 1, 12
+        DO J = 1, I
+          L(J,I) = 1.0
+        ENDDO
+      ENDDO
+      END
+"""
+
+RECT_NEST = """
+      PROGRAM P
+      REAL*8 A(8,16)
+      DO I = 1, 16
+        DO J = 1, 8
+          A(J,I) = 2.0
+        ENDDO
+      ENDDO
+      END
+"""
+
+
+def test_explicit_override_beats_auto_on_triangular():
+    """requested= is honored verbatim — auto's shape rule never vetoes."""
+    tri = loop_of(TRIANGULAR)
+    assert choose_strategy(tri, "auto") == "cyclic"
+    # An explicit block request on a triangular loop is legal (it only
+    # costs balance, never correctness) and must come back canonically.
+    assert choose_strategy(tri, "block") == "block"
+    assert choose_strategy(tri, "cyclic") == "cyclic"
+    # The triangular inner loop's bounds move with I, so it is not a
+    # split candidate: only the outer dimension is legal.
+    assert split_candidates(tri) == [0]
+    with pytest.raises(ValueError, match="split dimension 1"):
+        choose_strategy(tri, "block:1")
+
+
+def test_nprocs_1_degenerate_partitions():
+    """One rank owns everything under either strategy, any split dim."""
+    for strategy in ("block", "cyclic"):
+        p = Partition(pctx=ctx(3, 17, 2), nprocs=1, strategy=strategy)
+        only = p.rank_ctx(0)
+        assert list(only.values()) == list(range(3, 18, 2))
+        assert p.coverage() == list(range(3, 18, 2))
+        assert all(p.owner_of(v) == 0 for v in range(3, 18, 2))
+    # Zero-iteration space: every rank (there is one) gets nothing.
+    empty = Partition(pctx=LoopCtx("I", 1, 0, 1), nprocs=1, strategy="block")
+    assert empty.rank_ctx(0) is None
+    assert empty.coverage() == []
+
+
+def test_multi_dim_split_selection():
+    rect = loop_of(RECT_NEST)
+    # Perfect 2-deep nest with constant bounds: dims 0 and 1 are legal.
+    assert split_candidates(rect) == [0, 1]
+    assert choose_strategy(rect, "block:1") == "block:1"
+    assert choose_strategy(rect, "cyclic:1") == "cyclic:1"
+    # Dim 0 is the canonical spelling of the bare strategy.
+    assert choose_strategy(rect, "block:0") == "block"
+    with pytest.raises(ValueError, match="split dimension 2"):
+        choose_strategy(rect, "block:2")
+    # An imperfect nest (straight-line statement next to the inner DO)
+    # stops the candidate walk at dim 0.
+    imperfect = loop_of("""
+      PROGRAM P
+      REAL*8 A(8,16)
+      REAL*8 S(16)
+      DO I = 1, 16
+        S(I) = 0.0
+        DO J = 1, 8
+          A(J,I) = 2.0
+        ENDDO
+      ENDDO
+      END
+""")
+    assert split_candidates(imperfect) == [0]
+
+
+def test_parse_strategy_grammar():
+    assert parse_strategy("block") == ("block", 0)
+    assert parse_strategy("cyclic:3") == ("cyclic", 3)
+    for bad in ("auto", "zigzag", "block:", "block:x", "block:-1", ""):
+        with pytest.raises(ValueError):
+            parse_strategy(bad)
+    with pytest.raises(ValueError):
+        parse_strategy(5)
+
+
+def test_split_partition_restricts_inner_loop():
+    """rank_loop rewrites the depth-1 bounds, leaving the outer loop whole."""
+    rect = loop_of(RECT_NEST)
+    inner_ctx = LoopCtx("J", 1, 8, 1)
+    p = Partition(pctx=inner_ctx, nprocs=4, strategy="block", split_dim=1)
+    assert p.spec == "block:1"
+    r2 = p.rank_loop(2, rect)
+    assert (r2.lo.value, r2.hi.value) == (rect.lo.value, rect.hi.value)
+    assert (r2.body[0].lo.value, r2.body[0].hi.value) == (5, 6)
+    # Ranks partition the inner space exactly once between them.
+    inner_vals = []
+    for r in range(4):
+        rl = p.rank_loop(r, rect)
+        if rl is not None:
+            lo, hi = rl.body[0].lo.value, rl.body[0].hi.value
+            inner_vals.extend(range(lo, hi + 1))
+    assert sorted(inner_vals) == list(range(1, 9))

@@ -53,11 +53,14 @@ def test_expansion_order_is_deterministic():
     assert [(c["workload"], c["nprocs"]) for c in configs] == [
         ("MM-12", 2), ("MM-12", 4), ("CFFZINIT-5", 2), ("CFFZINIT-5", 4),
     ]
-    # Every config carries every axis key, in AXIS_KEYS order —
-    # except tune_plan, omitted when unset so pre-PR7 cache keys and
-    # committed result rows keep their exact bytes.
+    # Every config carries every axis key, in AXIS_KEYS order — except
+    # tune_plan (post-PR6) and partition (post-PR8), omitted when unset
+    # so pre-existing cache keys and committed result rows keep their
+    # exact bytes.
     for cfg in configs:
-        assert tuple(cfg) == tuple(k for k in AXIS_KEYS if k != "tune_plan")
+        assert tuple(cfg) == tuple(
+            k for k in AXIS_KEYS if k not in ("tune_plan", "partition")
+        )
 
 
 def test_grid_validation_errors():

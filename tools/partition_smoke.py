@@ -1,0 +1,151 @@
+"""CI smoke for per-region partition tuning (docs/PARTITION.md).
+
+Asserts, on a handful of workload x backend cells:
+
+* the §5.3 mixed plan (``partition="auto"``: cyclic for triangular
+  regions, block otherwise) strictly beats both uniform strategies on
+  the PXOVER crossover cells — including at least one Ethernet backend;
+* the joint grain x strategy autotuner (``tune_partition=True``) ends
+  no worse than the *best* of auto/block/cyclic on every cell — on
+  MM/gige that means out-tuning the paper's own auto rule, whose block
+  choice loses to cyclic there — and a warm plan-cache call returns
+  ``cached=True`` with an artifact byte-identical to the cold one;
+* partitioning is results-invariant: auto, uniform block, uniform
+  cyclic, and the tuned plan all digest to identical numeric state —
+  healthy *and* under a seeded recoverable fault plan.
+
+Run: ``PYTHONPATH=src python tools/partition_smoke.py``
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+
+from repro.compiler.pipeline import CompileOptions, compile_source
+from repro.faults import FaultPlan, FaultSpec
+from repro.runtime.executor import run_program
+from repro.sweep.cache import canonical_json
+from repro.sweep.runner import BACKENDS
+from repro.tools.tuneplan import tune_per_region
+from repro.vbus import params as P
+from repro.workloads import source_for
+
+#: (workload spec, backend, strict-win required) smoke cells.
+CELLS = (
+    ("PXOVER-48", "gige", True),
+    ("PXOVER-48", "ethernet100", True),
+    ("PXOVER-32", "vbus", False),
+    ("MM-32", "gige", False),
+)
+
+#: Recoverable wire faults for the digest-invariance-under-faults leg.
+FAULTS = FaultPlan(
+    seed=17,
+    specs=(
+        FaultSpec(kind="drop", rate=0.02),
+        FaultSpec(kind="corrupt", rate=0.01),
+    ),
+    max_sim_s=10.0,
+)
+
+STRATEGIES = ("auto", "block", "cyclic")
+
+
+def _comm(source, options, params):
+    prog = compile_source(source, options=options)
+    return run_program(prog, cluster_params=params, execute=False).comm_max_s
+
+
+def _digest(source, options, params, faults=None):
+    prog = compile_source(source, options=options)
+    return run_program(
+        prog, cluster_params=params, execute=True, faults=faults
+    ).array_digest()
+
+
+def main() -> int:
+    cache = tempfile.mkdtemp(prefix="partition-smoke-")
+    try:
+        for spec, backend, need_strict in CELLS:
+            source = source_for(spec)
+            params = P.cluster_for(4, getattr(P, BACKENDS[backend]))
+
+            uniform = {
+                s: _comm(
+                    source, CompileOptions(nprocs=4, partition=s), params
+                )
+                for s in STRATEGIES
+            }
+            auto = uniform["auto"]
+            if need_strict and not (
+                auto < uniform["block"] and auto < uniform["cyclic"]
+            ):
+                print(
+                    f"{spec}/{backend}: expected strict mixed-plan win, "
+                    f"got {uniform}"
+                )
+                return 1
+
+            cold = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=cache, tune_partition=True,
+            )
+            warm = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=cache, tune_partition=True,
+            )
+            if not warm.cached:
+                print(f"{spec}/{backend}: warm plan-cache MISS")
+                return 1
+            if canonical_json(cold.to_jsonable()) != canonical_json(
+                warm.to_jsonable()
+            ):
+                print(f"{spec}/{backend}: warm plan differs from cold")
+                return 1
+            tuned = _comm(source, cold.options(), params)
+            best = min(uniform.values())
+            if tuned > best * (1 + 1e-9):
+                print(
+                    f"{spec}/{backend}: tuned {tuned} LOSES to the best "
+                    f"static strategy {best} ({uniform})"
+                )
+                return 1
+
+            plans = {
+                s: CompileOptions(nprocs=4, partition=s) for s in STRATEGIES
+            }
+            plans["tuned"] = cold.options()
+            for faults, leg in ((None, "healthy"), (FAULTS, "faulted")):
+                digests = {
+                    name: _digest(source, options, params, faults=faults)
+                    for name, options in plans.items()
+                }
+                if len(set(digests.values())) != 1:
+                    print(
+                        f"{spec}/{backend}: {leg} digests diverged: "
+                        f"{digests}"
+                    )
+                    return 1
+
+            verdict = (
+                "MIXED STRICT WIN"
+                if auto < uniform["block"] and auto < uniform["cyclic"]
+                else "tuned matches best uniform"
+            )
+            print(
+                f"{spec:12s} {backend:12s} auto {auto * 1e6:9.1f}us / "
+                f"block {uniform['block'] * 1e6:9.1f}us / cyclic "
+                f"{uniform['cyclic'] * 1e6:9.1f}us / tuned "
+                f"{tuned * 1e6:9.1f}us  [{verdict}; "
+                f"{cold.profiles} profile(s); warm hit OK; digests OK]"
+            )
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    print("partition smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

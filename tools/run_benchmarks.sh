@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 tests + wall-clock benchmark, emitting BENCH_PR7.json.
+# Tier-1 tests + wall-clock benchmark, emitting BENCH_PR8.json.
 #
 # Usage: tools/run_benchmarks.sh [--quick] [-o OUT.json]
 #   --quick   skip the MM-1024 scale (fast CI smoke run)
-#   -o OUT    benchmark output path (default: BENCH_PR7.json; the
+#   -o OUT    benchmark output path (default: BENCH_PR8.json; the
 #             summary at the end reads whatever path is in effect)
 set -euo pipefail
 
@@ -12,7 +12,7 @@ export PYTHONPATH=src
 
 # The benchmark owns its default output path; mirror it here so the
 # summary step reads the same file the benchmark wrote (no hardcoding).
-BENCH_OUT=BENCH_PR7.json
+BENCH_OUT=BENCH_PR8.json
 args=("$@")
 for ((i = 0; i < ${#args[@]}; i++)); do
   case "${args[$i]}" in
@@ -62,6 +62,10 @@ echo "sweep smoke OK (6 jobs, warm run all cache hits, JSONL identical)"
 echo
 echo "== autotune smoke (tuned >= best global, warm plan-cache hit) =="
 python tools/autotune_smoke.py
+
+echo
+echo "== partition smoke (mixed-plan wins, digest invariance, cache) =="
+python tools/partition_smoke.py
 
 echo
 echo "== wall-clock benchmark =="
