@@ -39,11 +39,22 @@ the analytic model plus targeted probes, so its cold wall-clock must
 stay at or under ``0.8x`` the naive suite while its tuned plan never
 loses the comm metric to the best uniform variant.
 
+A fourth phase benchmarks the **trace-calibrated joint search**
+(``tune_per_region(calibration=...)``, docs/AUTOTUNE.md) against the
+uncalibrated joint tuner on the same cells: the fitted constants let the
+family-arbitration prune skip flip probes in both directions, so the
+calibrated search must choose the *same plan* on every cell while
+issuing no more instrumented profiles anywhere, strictly fewer on at
+least one Ethernet cell, and finishing at or under ``0.85x`` the
+uncalibrated suite wall-clock.  The one-time microbenchmark fit is
+timed separately (it is a content-address-cached artifact, amortized
+across every later tune).
+
 Run directly (no pytest needed)::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--quick] [-o OUT]
 
-Results are written to ``BENCH_PR8.json`` at the repository root.
+Results are written to ``BENCH_PR9.json`` at the repository root.
 """
 
 from __future__ import annotations
@@ -97,6 +108,11 @@ PARTITION_CELLS = (
 
 #: Required joint-tuner-vs-naive wall-clock ratio (suite-level, cold).
 PARTITION_RATIO_TARGET = 0.8
+
+#: Required calibrated-vs-uncalibrated joint-tuner wall-clock ratio
+#: (suite-level, cold plan caches, fit time excluded — the fit is a
+#: cached one-time artifact shared by every tune of the same backend).
+CALIBRATION_RATIO_TARGET = 0.85
 
 
 def _workloads(quick: bool):
@@ -386,12 +402,114 @@ def _partition_suite(quick: bool):
     return rows, baseline_total, tuned_total
 
 
+def _calibration_suite(quick: bool):
+    """Calibrated vs uncalibrated joint tuner on the partition cells."""
+    from repro.sweep.runner import BACKENDS
+    from repro.tools.calibrate import calibrate
+    from repro.tools.tuneplan import tune_per_region
+    from repro.vbus import params as P
+    from repro.workloads import source_for
+
+    cells = PARTITION_CELLS[:2] if quick else PARTITION_CELLS
+    rows = []
+    uncal_total = cal_total = fit_total = 0.0
+    cache = tempfile.mkdtemp(prefix="bench-calib-")
+    try:
+        models = {}
+        for _spec, backend in cells:
+            if backend not in models:
+                t0 = time.perf_counter()
+                models[backend] = calibrate(backend, nprocs=4, cache_dir=cache)
+                fit_total += time.perf_counter() - t0
+        for spec, backend in cells:
+            source = source_for(spec)
+            params = cluster_for(4, getattr(P, BACKENDS[backend]))
+            model = models[backend]
+
+            _clear_analysis_caches()
+            t0 = time.perf_counter()
+            uncal = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=None, tune_partition=True,
+            )
+            uncal_s = time.perf_counter() - t0
+
+            _clear_analysis_caches()
+            t1 = time.perf_counter()
+            cal = tune_per_region(
+                source, nprocs=4, metric="comm", backend=backend,
+                cache_dir=None, tune_partition=True, calibration=model,
+            )
+            cal_s = time.perf_counter() - t1
+
+            # Calibration may only change how *fast* the search decides,
+            # never what it decides on these cells.
+            same_plan = (
+                cal.default_grain == uncal.default_grain
+                and cal.grain_map == uncal.grain_map
+                and cal.partition_map == uncal.partition_map
+            )
+            if not same_plan:
+                raise SystemExit(
+                    f"{spec}/{backend}: calibrated plan diverged "
+                    f"({cal.options()} != {uncal.options()})"
+                )
+            prog = compile_source(source, options=cal.options())
+            digest = run_program(
+                prog, cluster_params=params, execute=True
+            ).to_jsonable()["array_digest"]
+            uncal_prog = compile_source(source, options=uncal.options())
+            uncal_digest = run_program(
+                uncal_prog, cluster_params=params, execute=True
+            ).to_jsonable()["array_digest"]
+            if digest != uncal_digest:
+                raise SystemExit(
+                    f"{spec}/{backend}: calibrated plan digest diverged"
+                )
+            if cal.profiles > uncal.profiles:
+                raise SystemExit(
+                    f"{spec}/{backend}: calibration added profiles "
+                    f"({cal.profiles} > {uncal.profiles})"
+                )
+
+            uncal_total += uncal_s
+            cal_total += cal_s
+            ratio = cal_s / uncal_s
+            rows.append({
+                "workload": spec,
+                "backend": backend,
+                "uncalibrated_s": round(uncal_s, 4),
+                "calibrated_s": round(cal_s, 4),
+                "ratio": round(ratio, 3),
+                "uncalibrated_profiles": uncal.profiles,
+                "calibrated_profiles": cal.profiles,
+                "plan_identical": True,
+                "digest_identical": True,
+            })
+            print(
+                f"{spec:12s} {backend:12s} uncal {uncal_s:6.3f}s "
+                f"({uncal.profiles}p)  cal {cal_s:6.3f}s "
+                f"({cal.profiles}p, {ratio:4.2f}x)  plan identical"
+            )
+        fewer = [
+            r for r in rows
+            if r["calibrated_profiles"] < r["uncalibrated_profiles"]
+        ]
+        if not fewer:
+            raise SystemExit(
+                "calibration pruned zero flip probes on every cell"
+            )
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    return rows, uncal_total, cal_total, fit_total
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="skip the MM-1024 scale (CI smoke run)")
     ap.add_argument("-o", "--output",
-                    default=os.path.join(ROOT, "BENCH_PR8.json"))
+                    default=os.path.join(ROOT, "BENCH_PR9.json"))
     args = ap.parse_args(argv)
 
     print("== legacy serial harness (per-config cold-cache re-baselining) ==")
@@ -444,6 +562,16 @@ def main(argv=None) -> int:
     print(f"partition suite: naive {part_baseline_s:.3f}s, "
           f"joint tuner {part_cold_s:.3f}s "
           f"({part_ratio:.2f}x, target <= {PARTITION_RATIO_TARGET}x)")
+
+    print("\n== calibrated vs uncalibrated joint tuner ==")
+    cal_rows, cal_uncal_s, cal_cold_s, cal_fit_s = _calibration_suite(
+        args.quick
+    )
+    cal_ratio = cal_cold_s / cal_uncal_s
+    print(f"calibration suite: uncalibrated {cal_uncal_s:.3f}s, "
+          f"calibrated {cal_cold_s:.3f}s "
+          f"({cal_ratio:.2f}x, target <= {CALIBRATION_RATIO_TARGET}x; "
+          f"one-time fit {cal_fit_s:.3f}s, cached)")
 
     cold_speedup = legacy_s / jobs4_s
     warm_speedup = legacy_s / warm_s
@@ -508,6 +636,25 @@ def main(argv=None) -> int:
             "ratio_target": PARTITION_RATIO_TARGET,
             "rows": part_rows,
         },
+        "calibration": {
+            "baseline": ("uncalibrated joint tuner: static §5.6 analytic "
+                         "model, directional family-arbitration prune"),
+            "tuner": ("calibrated joint tuner (docs/AUTOTUNE.md): "
+                      "trace-fitted constants re-price the family "
+                      "champions, symmetric clear-margin prune skips "
+                      "flip probes both ways; plans must stay identical"),
+            "cells": len(cal_rows),
+            "uncalibrated_s": round(cal_uncal_s, 4),
+            "calibrated_s": round(cal_cold_s, 4),
+            "fit_s": round(cal_fit_s, 4),
+            "ratio": round(cal_ratio, 3),
+            "ratio_target": CALIBRATION_RATIO_TARGET,
+            "profiles_pruned": sum(
+                r["uncalibrated_profiles"] - r["calibrated_profiles"]
+                for r in cal_rows
+            ),
+            "rows": cal_rows,
+        },
         "rows": rows,
     }
     with open(args.output, "w") as fh:
@@ -538,6 +685,10 @@ def main(argv=None) -> int:
     if part_ratio > PARTITION_RATIO_TARGET:
         print(f"WARNING: partition autotune ratio {part_ratio:.2f}x above "
               f"the {PARTITION_RATIO_TARGET}x target")
+        rc = 1
+    if cal_ratio > CALIBRATION_RATIO_TARGET:
+        print(f"WARNING: calibration ratio {cal_ratio:.2f}x above the "
+              f"{CALIBRATION_RATIO_TARGET}x target")
         rc = 1
     return rc
 

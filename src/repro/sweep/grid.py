@@ -44,6 +44,7 @@ AXIS_KEYS = (
     "granularity",
     "partition",
     "tune_plan",
+    "calibration",
     "fast_path",
     "execute",
     "faults",
@@ -57,6 +58,7 @@ _DEFAULTS = {
     "granularity": "fine",
     "partition": None,
     "tune_plan": None,
+    "calibration": None,
     "fast_path": True,
     "execute": False,
     "faults": None,
@@ -131,16 +133,30 @@ def _check_config(cfg: Dict) -> Dict:
                 "partition must be null, a strategy spec string, or a "
                 f"non-empty region->spec object, got {partition!r}"
             )
+    calibration = cfg["calibration"]
+    if calibration is not None:
+        from repro.tools.calibrate import CalibratedModel
+
+        try:
+            CalibratedModel.from_jsonable(calibration)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SweepConfigError(
+                "calibration must be null or a CalibratedModel artifact "
+                f"object ('repro calibrate -o', docs/AUTOTUNE.md): {exc}"
+            ) from None
     seed = cfg["seed"]
     if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
         raise SweepConfigError(f"seed must be null or an int, got {seed!r}")
-    # ``tune_plan`` entered the schema after PR 6 and ``partition`` after
-    # PR 8; omit them when unset so pre-existing configs keep their exact
-    # cache keys and row bytes.
+    # ``tune_plan`` entered the schema after PR 6, ``partition`` after
+    # PR 8, and ``calibration`` after PR 9; omit them when unset so
+    # pre-existing configs keep their exact cache keys and row bytes.
     return {
         key: cfg[key]
         for key in AXIS_KEYS
-        if not (key in ("partition", "tune_plan") and cfg[key] is None)
+        if not (
+            key in ("partition", "tune_plan", "calibration")
+            and cfg[key] is None
+        )
     }
 
 

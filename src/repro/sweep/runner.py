@@ -149,10 +149,29 @@ def run_job(config: Dict, key: str) -> Dict:
                 nprocs=config["nprocs"],
                 granularity=config["granularity"],
             )
+        params = _cluster_params(config)
+        calibration = config.get("calibration")
+        if calibration is not None:
+            # A calibrated job carries the fitted model's per-region comm
+            # prediction next to the measured result — the row is the
+            # model-validation record.  Configs without the axis emit no
+            # ``model`` field, keeping their row bytes unchanged.
+            from repro.tools.calibrate import CalibratedModel
+            from repro.tools.tuneplan import region_model_cost
+
+            cal = CalibratedModel.from_jsonable(calibration)
+            costs = [
+                region_model_cost(prog.plans[rid], params, calibration=cal)
+                for rid in sorted(prog.plans)
+            ]
+            row["model"] = {
+                "comm_s": sum(c.elapsed_s for c in costs),
+                "messages": int(sum(c.messages for c in costs)),
+            }
         try:
             report = run_program(
                 prog,
-                cluster_params=_cluster_params(config),
+                cluster_params=params,
                 execute=config["execute"],
                 faults=plan,
             )

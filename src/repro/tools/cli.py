@@ -13,6 +13,9 @@ Usage::
     python -m repro autotune PROG.f [--nprocs 4] [--metric comm]
                                     [--backend vbus] [--per-region]
                                     [--plan-out PLAN.json]
+                                    [--calibration CAL.json]
+    python -m repro calibrate [--backend gige] [--nprocs 4]
+                              [-o CAL.json] [--cache-dir DIR] [--no-cache]
     python -m repro sweep   GRID.json [--jobs N] [-o OUT.jsonl]
                                       [--cache-dir DIR] [--no-cache]
 
@@ -241,6 +244,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "'repro run --tune-plan' and the sweep engine)",
     )
     pa.add_argument(
+        "--calibration",
+        default=None,
+        metavar="CAL.json",
+        help="trace-calibrated cost-model artifact from 'repro calibrate' "
+        "(needs --per-region; docs/AUTOTUNE.md)",
+    )
+    pa.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -253,6 +263,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore and do not write the per-region plan cache",
     )
     _add_faults(pa)
+
+    pb = sub.add_parser(
+        "calibrate",
+        help="fit the analytic cost model's constants to traced "
+        "microbenchmarks on one backend (docs/AUTOTUNE.md)",
+    )
+    pb.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="vbus",
+        help="interconnect preset to calibrate (see docs/SWEEP.md)",
+    )
+    pb.add_argument("--nprocs", type=int, default=4, help="cluster size")
+    pb.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="CAL.json",
+        help="write the CalibratedModel artifact (reusable via "
+        "'repro autotune --calibration' and the sweep calibration axis)",
+    )
+    pb.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="calibration cache location (default: .sweep-cache, "
+        "shared with 'repro sweep')",
+    )
+    pb.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the calibration cache",
+    )
 
     ps = sub.add_parser(
         "sweep",
@@ -433,6 +476,23 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_calibrate(args) -> int:
+    from repro.sweep.cache import DEFAULT_CACHE_DIR
+    from repro.tools.calibrate import calibrate
+
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or DEFAULT_CACHE_DIR
+    )
+    model = calibrate(
+        backend=args.backend, nprocs=args.nprocs, cache_dir=cache_dir
+    )
+    print(model.summary())
+    if args.out is not None:
+        model.save(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_autotune(args) -> int:
     src = _source_text(args.source)
     faults = _load_faults(args)
@@ -443,10 +503,23 @@ def _cmd_autotune(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.calibration is not None and not args.per_region:
+        print(
+            "autotune: --calibration needs --per-region (the global "
+            "tuner profiles every grain anyway, so fitted constants "
+            "have nothing to decide)",
+            file=sys.stderr,
+        )
+        return 2
     if args.per_region:
         from repro.sweep.cache import DEFAULT_CACHE_DIR
         from repro.tools.tuneplan import DEFAULT_EPSILON, tune_per_region
 
+        calibration = None
+        if args.calibration is not None:
+            from repro.tools.calibrate import CalibratedModel
+
+            calibration = CalibratedModel.load(args.calibration)
         cache_dir = None if args.no_cache else (
             args.cache_dir or DEFAULT_CACHE_DIR
         )
@@ -461,6 +534,7 @@ def _cmd_autotune(args) -> int:
             cache_dir=cache_dir,
             faults=faults,
             tune_partition=args.tune_partition,
+            calibration=calibration,
         )
         print(plan.summary())
         if args.plan_out is not None:
@@ -498,6 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args)
         return _cmd_autotune(args)
     except MpiFaultError as exc:
         print(f"fault: {type(exc).__name__}: {exc}", file=sys.stderr)

@@ -66,9 +66,11 @@ from repro.sweep.cache import (
 )
 
 __all__ = [
+    "FEATURES",
     "ModelCost",
     "RegionDecision",
     "TunePlan",
+    "region_features",
     "region_model_cost",
     "tune_per_region",
 ]
@@ -80,6 +82,11 @@ DEFAULT_EPSILON = 0.05
 #: Rough CPU cost of one kernel-stack traversal (ethernet backends have
 #: no user-level path; the sw latency *is* host CPU time).
 _ETH_CPU_PER_SIDE = 1.0
+
+#: Feature names of the linear calibrated cost model, in fit order
+#: (docs/AUTOTUNE.md).  A :class:`~repro.tools.calibrate.CalibratedModel`
+#: carries one fitted coefficient per feature.
+FEATURES = ("messages", "bytes", "strided_elements", "fanout_dests")
 
 
 @dataclass(frozen=True)
@@ -119,7 +126,7 @@ def _transfer_cost(transfer, itemsize: int, params) -> Tuple[float, float]:
     return elapsed, elapsed
 
 
-def region_model_cost(plan: RegionCommPlan, params) -> ModelCost:
+def region_model_cost(plan: RegionCommPlan, params, calibration=None) -> ModelCost:
     """Price one region's scatter+collect plan on one backend.
 
     Scatters serialize on the master (one bcast wave when the V-Bus
@@ -127,6 +134,14 @@ def region_model_cost(plan: RegionCommPlan, params) -> ModelCost:
     mesh and switched fabrics (busiest rank bounds) but serialize on a
     shared ethernet segment.  A pruning heuristic, not an accounting
     identity — it only has to rank grains with a margin.
+
+    With a ``calibration`` (a
+    :class:`~repro.tools.calibrate.CalibratedModel`, or anything with its
+    four per-feature coefficients), ``elapsed_s`` is instead the fitted
+    linear model over :func:`region_features` — constants measured from
+    traced microbenchmarks rather than read off static ``ClusterParams``.
+    ``cpu_s`` and ``messages`` stay static either way: the ``comm_cpu``
+    metric and the fewer-messages tie-break are calibration-invariant.
     """
     elapsed = cpu = 0.0
     messages = 0
@@ -171,7 +186,66 @@ def region_model_cost(plan: RegionCommPlan, params) -> ModelCost:
             else:
                 elapsed += max(rank_elapsed)
                 cpu += max(rank_cpu)
+    if calibration is not None:
+        f = region_features(plan, params)
+        elapsed = (
+            calibration.per_message_s * f["messages"]
+            + calibration.per_byte_s * f["bytes"]
+            + calibration.strided_per_element_s * f["strided_elements"]
+            + calibration.fanout_per_dest_s * f["fanout_dests"]
+        )
     return ModelCost(elapsed_s=elapsed, cpu_s=cpu, messages=messages)
+
+
+def region_features(plan: RegionCommPlan, params) -> Dict[str, float]:
+    """:data:`FEATURES` of one region's plan, for the calibrated model.
+
+    ``messages``/``bytes``/``strided_elements`` are **totals** over every
+    transfer the region issues — scatter and collect, all ranks — except
+    that a fused V-Bus broadcast counts its single wave once and puts its
+    destination count in ``fanout_dests``.  Totals, not busiest-rank
+    shares, because every transfer converges on the master (its NIC, its
+    switch port, or the shared segment): the measured region comm time
+    the fit targets is the *serialized* drain of all of them, and the
+    per-message/per-byte coefficients absorb whatever overlap the fabric
+    actually achieves.  Unlike the static walk of
+    :func:`region_model_cost`, this is exactly linear in the transfer
+    counts, which is what makes the least-squares fit well-posed.
+    """
+    msgs = nbytes = selems = fanout = 0.0
+
+    def _tally(transfers, itemsize):
+        m = b = s = 0.0
+        for t in transfers:
+            m += 1
+            b += t.count * itemsize
+            if not t.contiguous:
+                s += t.count
+        return m, b, s
+
+    for aplan in plan.arrays.values():
+        bcast = (
+            aplan.scatter_bcast
+            and params.network == "vbus"
+            and params.vbus_broadcast
+        )
+        if bcast:
+            waves = [next(iter(aplan.scatter.values()), [])]
+            fanout += len(aplan.scatter)
+        else:
+            waves = [aplan.scatter[r] for r in sorted(aplan.scatter)]
+        waves.extend(aplan.collect[r] for r in sorted(aplan.collect))
+        for transfers in waves:
+            m, b, s = _tally(transfers, aplan.itemsize)
+            msgs += m
+            nbytes += b
+            selems += s
+    return {
+        "messages": msgs,
+        "bytes": nbytes,
+        "strided_elements": selems,
+        "fanout_dests": fanout,
+    }
 
 
 @dataclass
@@ -244,6 +318,9 @@ class TunePlan:
     #: from the ``auto`` resolution (so an all-agree plan stays empty and
     #: the artifact byte-identical to a grain-only plan).
     partition_map: Dict[int, str] = field(default_factory=dict)
+    #: Content hash of the CalibratedModel the analytic tier used, or
+    #: ``""`` for an uncalibrated search (v3 field, omitted when empty).
+    calibration_sha256: str = ""
     #: True when this plan came from the on-disk plan cache.
     cached: bool = field(default=False, compare=False)
 
@@ -287,6 +364,8 @@ class TunePlan:
                 str(rid): self.partition_map[rid]
                 for rid in sorted(self.partition_map)
             }
+        if self.calibration_sha256:
+            out["calibration_sha256"] = self.calibration_sha256
         return out
 
     @classmethod
@@ -315,6 +394,7 @@ class TunePlan:
                 int(rid): s
                 for rid, s in doc.get("partition_map", {}).items()
             },
+            calibration_sha256=doc.get("calibration_sha256", ""),
         )
 
     def save(self, path: str) -> None:
@@ -493,12 +573,14 @@ def plan_cache_key(
     metric: str,
     epsilon: float,
     tune_partition: bool = False,
+    calibration_sha256: str = "",
 ) -> str:
     """Content-address of one tuning problem (shares the sweep cache).
 
-    The ``partition`` field joins the key only for joint searches, so
-    every grain-only key (and any cached plan stored under one) is
-    untouched by the partition axis.
+    The ``partition`` field joins the key only for joint searches and
+    the ``calibration`` field only for calibrated searches, so every
+    pre-existing key (and any cached plan stored under one) is untouched
+    by either axis.
     """
     sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
     doc = {
@@ -511,6 +593,8 @@ def plan_cache_key(
     }
     if tune_partition:
         doc["partition"] = True
+    if calibration_sha256:
+        doc["calibration"] = calibration_sha256
     return job_key(doc)
 
 
@@ -538,6 +622,7 @@ def tune_per_region(
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     faults=None,
     tune_partition: bool = False,
+    calibration=None,
 ) -> TunePlan:
     """Derive a per-region mixed-grain :class:`TunePlan` for ``source``.
 
@@ -553,6 +638,15 @@ def tune_per_region(
     load-imbalance term, and the plan's ``partition_map`` records only
     the regions where the tuned strategy disagrees with ``auto``.
 
+    ``calibration`` (a :class:`~repro.tools.calibrate.CalibratedModel`)
+    replaces the analytic tier's static constants with trace-fitted
+    ones.  A calibrated model has no known cross-family bias, so the
+    family-arbitration prune widens from "clear block wins" to *any*
+    clear-margin cross-family verdict — fewer flip probes wherever the
+    fitted model is confident.  The calibration's content hash joins the
+    plan cache key and the artifact (``calibration_sha256``), keeping
+    uncalibrated plans byte-identical to what earlier releases wrote.
+
     Warm calls (``cache_dir`` holds a plan for this exact problem)
     return the cached plan without compiling or profiling anything.
     """
@@ -563,12 +657,14 @@ def tune_per_region(
     if not 0.0 <= epsilon < 1.0:
         raise ValueError(f"epsilon must be in [0, 1), got {epsilon!r}")
 
+    cal_sha = calibration.sha256() if calibration is not None else ""
     cacheable = cache_dir is not None and cluster_params is None
     key = None
     if cacheable:
         key = plan_cache_key(
             source, backend or "vbus", nprocs, metric, epsilon,
             tune_partition=tune_partition,
+            calibration_sha256=cal_sha,
         )
         row = load_row(cache_dir, key)
         if row is not None:
@@ -620,10 +716,14 @@ def tune_per_region(
                 continue
             auto_spec[rid] = choose_strategy(loop, "auto")
             imb[rid] = _strategy_imbalance(loop, nprocs)
+        # The imbalance term only matters where block and cyclic *differ*
+        # in skew: a factor common to every strategy shifts all candidates
+        # of a region equally and can never change a ranking.  Workloads
+        # with zero such regions (every nest rectangular, or near-even
+        # owner counts) skip the baseline instrumented profile entirely.
         skewed = metric != "comm_cpu" and any(
-            factor > 1e-12
+            factors and max(factors.values()) - min(factors.values()) > 1e-12
             for factors in imb.values()
-            for factor in factors.values()
         )
         if skewed:
             report = run_program(
@@ -665,12 +765,17 @@ def tune_per_region(
             for c in candidates
         }
         model_costs[rid] = costs
-        value = {}
-        for (g, s) in candidates:
-            v = costs[(g, s)].metric(metric)
-            if s is not None and metric != "comm_cpu":
-                v += imb[rid].get(s, 0.0) * compute_s.get(rid, 0.0)
-            value[(g, s)] = v
+
+        def _value_of(cost_of) -> Dict[Tuple[str, Optional[str]], float]:
+            out = {}
+            for (g, s) in candidates:
+                v = cost_of[(g, s)].metric(metric)
+                if s is not None and metric != "comm_cpu":
+                    v += imb[rid].get(s, 0.0) * compute_s.get(rid, 0.0)
+                out[(g, s)] = v
+            return out
+
+        value = _value_of(costs)
         ranked = sorted(
             candidates,
             key=lambda c: (
@@ -683,22 +788,60 @@ def tune_per_region(
         values = [value[c] for c in ranked]
         margin = _margin(values)
         best_g, best_s = ranked[0]
+        # The model-best candidate per strategy family, for the family
+        # arbitration tier below (ranked order already applied the
+        # tie-break, so the first hit per family is its best).  Within a
+        # family the *static* model ranks — its §5.6 pricing is exact up
+        # to scheduling, and grains of one family share that scheduling.
+        fam_best: Dict[Optional[str], Tuple[str, Optional[str]]] = {}
+        for c in ranked:
+            fam_best.setdefault(c[1], c)
+        family_best[rid] = fam_best
+        model_value = value
+        if calibration is not None:
+            # Calibrated searches re-price the *champion* comparison —
+            # the cross-family gap is exactly where PR 8 measured the
+            # static model to be 2-3x optimistic (strided cyclic
+            # descriptors priced as single messages), and exactly what
+            # the fitted constants absorbed.  The winner, the recorded
+            # model values, and therefore the flip-probe margins below
+            # all speak calibrated prices; within-family ranking and
+            # its near-tie band stay with the static model.
+            cal_value = _value_of(
+                {
+                    c: region_model_cost(
+                        programs[c].plans[rid],
+                        params,
+                        calibration=calibration,
+                    )
+                    for c in candidates
+                }
+            )
+            model_value = cal_value
+            if len(fam_best) > 1:
+                champions = sorted(
+                    fam_best.values(),
+                    key=lambda c: (
+                        cal_value[c],
+                        costs[c].messages,
+                        _pref(rid, c[1]),
+                        GRAINS.index(c[0]),
+                    ),
+                )
+                best_g, best_s = champions[0]
+                margin = _margin([cal_value[c] for c in champions])
         decision = RegionDecision(
             region_id=rid,
             grain=best_g,
             how="model",
             margin=margin,
-            model={_cand_key(g, s): value[(g, s)] for (g, s) in candidates},
+            model={
+                _cand_key(g, s): model_value[(g, s)]
+                for (g, s) in candidates
+            },
             partition=best_s if tune_partition else None,
         )
         decisions[rid] = decision
-        # The model-best candidate per strategy family, for the family
-        # arbitration tier below (ranked order already applied the
-        # tie-break, so the first hit per family is its best).
-        fam_best: Dict[Optional[str], Tuple[str, Optional[str]]] = {}
-        for c in ranked:
-            fam_best.setdefault(c[1], c)
-        family_best[rid] = fam_best
         if margin < epsilon:
             # Candidates within epsilon of the leader go to the profile —
             # except exact structural duplicates: candidates whose region
@@ -718,7 +861,7 @@ def tune_per_region(
                 if values[0] <= 0.0 or (v - values[0]) / max(v, 1e-30) < epsilon
             ]
             if tune_partition:
-                cands = [c for c in cands if c[1] == ranked[0][1]]
+                cands = [c for c in cands if c[1] == best_s]
             cands = [
                 c
                 for i, c in enumerate(cands)
@@ -837,24 +980,33 @@ def tune_per_region(
                 )
                 if same:  # structural duplicates measure identically
                     continue
-                # The model's cross-family bias has a *direction*: it
-                # prices a strided cyclic descriptor as one message
+                # The static model's cross-family bias has a *direction*:
+                # it prices a strided cyclic descriptor as one message
                 # (optimistic) and serializes every block scatter
                 # (pessimistic), so it flatters cyclic.  When block wins
-                # the model by a clear margin despite that handicap, the
-                # verdict is trustworthy; only a cyclic model win (or a
-                # near-tie) needs the measured flip.
+                # the static model by a clear margin despite that
+                # handicap, the verdict is trustworthy; only a cyclic
+                # model win (or a near-tie) needs the measured flip.  A
+                # *calibrated* model fitted that optimism away, so its
+                # clear-margin verdicts are trusted symmetrically: any
+                # cross-family loss by >= epsilon skips its probe.
                 wv = model_vals.get(_cand_key(*win))
                 cv = model_vals.get(_cand_key(*cand))
-                if (
-                    win[1] is not None
-                    and parse_strategy(win[1])[0] == "block"
-                    and cand[1] is not None
-                    and parse_strategy(cand[1])[0] == "cyclic"
-                    and wv is not None
+                clear = (
+                    wv is not None
                     and cv is not None
                     and cv > 0.0
                     and (cv - wv) / cv >= epsilon
+                )
+                if calibration is not None:
+                    if clear:
+                        continue
+                elif (
+                    clear
+                    and win[1] is not None
+                    and parse_strategy(win[1])[0] == "block"
+                    and cand[1] is not None
+                    and parse_strategy(cand[1])[0] == "cyclic"
                 ):
                     continue
                 flips.setdefault(rid, []).append(cand)
@@ -964,6 +1116,7 @@ def tune_per_region(
         profiles=profiles,
         tune_partition=tune_partition,
         partition_map=partition_map,
+        calibration_sha256=cal_sha,
     )
     if cacheable:
         store_row(cache_dir, key, plan.to_jsonable())

@@ -358,3 +358,96 @@ def test_external_tracer_is_reused():
     sim.tracer = mine
     cluster = Cluster(sim, _params(False, trace=True))
     assert cluster.tracer is mine
+
+
+# ---------------------------------------------------------------------------
+# Region-rollup edge cases: mpi_net_max_s on degenerate traces
+# ---------------------------------------------------------------------------
+# region_rollup only reads ``tracer.spans`` — hand-built 5-tuples
+# ``(track, name, t0, dur, args)`` let each edge case state its expected
+# attribution exactly, including the truncated span stream a killed node
+# leaves behind (the executor surfaces the kill itself as a typed
+# MpiFaultError, so the trace a monitor sees is precisely this: a rank
+# track that just stops).
+from types import SimpleNamespace
+
+from repro.obs.rollup import region_rollup
+
+
+def _trace(*spans):
+    return SimpleNamespace(spans=list(spans))
+
+
+def test_rollup_single_rank_net_excludes_own_fence():
+    roll = region_rollup(_trace(
+        (("rank", 0), "par-region 0", 0.0, 10.0, None),
+        (("rank", 0), "MPI_Put", 1.0, 3.0, None),
+        (("rank", 0), "win-drain", 5.0, 4.0, None),
+    ))
+    ru = roll[0]
+    assert ru.visits == 1
+    assert ru.mpi_max_s == pytest.approx(7.0)
+    assert ru.fence_max_s == pytest.approx(4.0)
+    # The single rank is the busiest rank; net strips its fence share.
+    assert ru.mpi_net_max_s == pytest.approx(3.0)
+
+
+def test_rollup_all_fence_region_nets_exactly_zero():
+    # A region that only synchronizes (fences + barrier, no data calls)
+    # must net to exactly 0.0 — not a small float residue — because the
+    # per-rank net is computed as (mpi - fence) of identical sums.
+    spans = [(("rank", r), "par-region 0", 0.0, 10.0, None) for r in (0, 1)]
+    for r in (0, 1):
+        spans += [
+            (("rank", r), "MPI_Win_fence", 1.0, 2.0, None),
+            (("rank", r), "MPI_Barrier", 4.0, 1.0, None),
+            (("rank", r), "win-drain", 6.0, 3.0, None),
+        ]
+    ru = region_rollup(_trace(*spans))[0]
+    assert ru.mpi_max_s == pytest.approx(6.0)
+    assert ru.mpi_net_max_s == 0.0
+    assert ru.fence_s == pytest.approx(12.0)
+
+
+def test_rollup_without_master_track_is_empty():
+    # Region phases are defined by rank 0's timeline; a trace that lost
+    # the master track (e.g. a killed node 0) attributes nothing rather
+    # than guessing.
+    assert region_rollup(_trace(
+        (("rank", 3), "par-region 0", 0.0, 10.0, None),
+        (("rank", 3), "MPI_Put", 1.0, 2.0, None),
+    )) == {}
+
+
+def test_rollup_killed_node_truncated_trace():
+    # Rank 2 died between regions: its track has region 0 but no region
+    # 1 interval, plus one orphan span after death.  Survivors' region 1
+    # must still roll up, the orphan must be dropped (it starts outside
+    # every rank-2 region interval), and the net invariant must hold for
+    # both regions.
+    spans = []
+    for r in (0, 1, 3):
+        spans += [
+            (("rank", r), "par-region 0", 0.0, 10.0, None),
+            (("rank", r), "MPI_Put", 1.0, 2.0, None),
+            (("rank", r), "win-drain", 4.0, 1.0, None),
+            (("rank", r), "par-region 1", 20.0, 10.0, None),
+            (("rank", r), "MPI_Put", 21.0, 4.0, None),
+            (("rank", r), "win-drain", 26.0, 2.0, None),
+        ]
+    spans += [
+        (("rank", 2), "par-region 0", 0.0, 10.0, None),
+        (("rank", 2), "MPI_Put", 1.0, 5.0, None),
+        (("rank", 2), "win-drain", 7.0, 1.0, None),
+        (("rank", 2), "MPI_Put", 15.0, 9.0, None),  # orphan: after death
+    ]
+    roll = region_rollup(_trace(*spans))
+    assert sorted(roll) == [0, 1]
+    # Region 0's busiest rank is the dead one's last full region...
+    assert roll[0].mpi_max_s == pytest.approx(6.0)
+    assert roll[0].mpi_net_max_s == pytest.approx(5.0)
+    # ...region 1 rolls up from survivors only, orphan span dropped.
+    assert roll[1].mpi_max_s == pytest.approx(6.0)
+    assert roll[1].mpi_net_max_s == pytest.approx(4.0)
+    for ru in roll.values():
+        assert 0.0 <= ru.mpi_net_max_s <= ru.mpi_max_s + 1e-12

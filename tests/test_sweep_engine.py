@@ -54,12 +54,13 @@ def test_expansion_order_is_deterministic():
         ("MM-12", 2), ("MM-12", 4), ("CFFZINIT-5", 2), ("CFFZINIT-5", 4),
     ]
     # Every config carries every axis key, in AXIS_KEYS order — except
-    # tune_plan (post-PR6) and partition (post-PR8), omitted when unset
-    # so pre-existing cache keys and committed result rows keep their
-    # exact bytes.
+    # tune_plan (post-PR6), partition (post-PR8), and calibration
+    # (post-PR9), omitted when unset so pre-existing cache keys and
+    # committed result rows keep their exact bytes.
     for cfg in configs:
         assert tuple(cfg) == tuple(
-            k for k in AXIS_KEYS if k not in ("tune_plan", "partition")
+            k for k in AXIS_KEYS
+            if k not in ("tune_plan", "partition", "calibration")
         )
 
 

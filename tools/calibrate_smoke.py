@@ -1,0 +1,116 @@
+"""CI smoke for the trace-calibrated cost model (docs/AUTOTUNE.md).
+
+Asserts the calibration pipeline's three external guarantees, end to
+end and fast enough for every CI run:
+
+* the microbenchmark fit **works and is cached**: a cold
+  ``calibrate()`` fits physically sane constants (non-negative, with a
+  faster wire pricing bytes cheaper than a slower one), and a warm call
+  returns the artifact from the content-addressed cache byte-identical
+  to the cold one without touching the simulator;
+* calibration **prunes probes without changing plans**: on an Ethernet
+  study cell the calibrated joint tuner issues strictly fewer
+  instrumented profile runs than the uncalibrated search while choosing
+  the identical (grain, partition) plan;
+* the artifact **keys the plan cache**: calibrated and uncalibrated
+  searches of the same problem occupy different cache slots, so neither
+  can serve the other a stale plan.
+
+Run: ``PYTHONPATH=src python tools/calibrate_smoke.py``
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+
+from repro.sweep.cache import canonical_json
+from repro.tools.calibrate import calibrate
+from repro.tools.tuneplan import plan_cache_key, tune_per_region
+from repro.workloads import source_for
+
+#: (workload spec, backend): an Ethernet cell where the uncalibrated
+#: search needs flip probes that the fitted constants make unnecessary.
+PROBE_CELL = ("MM-96", "ethernet100")
+
+
+def main() -> int:
+    cache = tempfile.mkdtemp(prefix="calibrate-smoke-")
+    try:
+        # --- fit + warm-cache byte-identity ---------------------------
+        cold = calibrate("ethernet100", nprocs=4, cache_dir=cache)
+        fast = calibrate("gige", nprocs=4, cache_dir=cache)
+        if cold.cached or fast.cached:
+            print("FAIL: cold calibration claims a cache hit")
+            return 1
+        if any(c < 0.0 for c in cold.constants().values()):
+            print("FAIL: fit produced a negative coefficient")
+            return 1
+        if not fast.per_byte_s < cold.per_byte_s:
+            print(
+                "FAIL: switched GigE must price bytes cheaper than shared "
+                f"100 Mb Ethernet ({fast.per_byte_s} >= {cold.per_byte_s})"
+            )
+            return 1
+        warm = calibrate("ethernet100", nprocs=4, cache_dir=cache)
+        if not warm.cached:
+            print("FAIL: warm calibration missed the artifact cache")
+            return 1
+        if canonical_json(warm.to_jsonable()) != canonical_json(
+            cold.to_jsonable()
+        ):
+            print("FAIL: warm calibration artifact is not byte-identical")
+            return 1
+        print(
+            f"fit OK: ethernet100 {cold.per_byte_s * 1e9:.1f} ns/B, "
+            f"gige {fast.per_byte_s * 1e9:.1f} ns/B; warm hit byte-identical"
+        )
+
+        # --- probe pruning with an identical plan ---------------------
+        spec, backend = PROBE_CELL
+        source = source_for(spec)
+        kw = dict(
+            nprocs=4, metric="comm", backend=backend,
+            cache_dir=None, tune_partition=True,
+        )
+        uncal = tune_per_region(source, **kw)
+        cal = tune_per_region(source, **kw, calibration=cold)
+        if (
+            cal.default_grain != uncal.default_grain
+            or cal.grain_map != uncal.grain_map
+            or cal.partition_map != uncal.partition_map
+        ):
+            print(f"FAIL: {spec}/{backend}: calibrated plan diverged")
+            return 1
+        if not cal.profiles < uncal.profiles:
+            print(
+                f"FAIL: {spec}/{backend}: calibration did not prune "
+                f"profiles ({cal.profiles} vs {uncal.profiles})"
+            )
+            return 1
+        print(
+            f"probe pruning OK: {spec}/{backend} "
+            f"{uncal.profiles} -> {cal.profiles} instrumented run(s), "
+            "plan identical"
+        )
+
+        # --- distinct plan-cache slots --------------------------------
+        base = dict(
+            source=source, backend=backend, nprocs=4, metric="comm",
+            epsilon=0.05, tune_partition=True,
+        )
+        if plan_cache_key(**base) == plan_cache_key(
+            **base, calibration_sha256=cold.sha256()
+        ):
+            print("FAIL: calibrated search shares the uncalibrated cache slot")
+            return 1
+        print("plan-cache keying OK: calibration sha joins the key")
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    print("calibrate smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

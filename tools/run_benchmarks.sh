@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 tests + wall-clock benchmark, emitting BENCH_PR8.json.
+# Tier-1 tests + wall-clock benchmark, emitting BENCH_PR9.json.
 #
 # Usage: tools/run_benchmarks.sh [--quick] [-o OUT.json]
 #   --quick   skip the MM-1024 scale (fast CI smoke run)
-#   -o OUT    benchmark output path (default: BENCH_PR8.json; the
+#   -o OUT    benchmark output path (default: BENCH_PR9.json; the
 #             summary at the end reads whatever path is in effect)
 set -euo pipefail
 
@@ -12,7 +12,7 @@ export PYTHONPATH=src
 
 # The benchmark owns its default output path; mirror it here so the
 # summary step reads the same file the benchmark wrote (no hardcoding).
-BENCH_OUT=BENCH_PR8.json
+BENCH_OUT=BENCH_PR9.json
 args=("$@")
 for ((i = 0; i < ${#args[@]}; i++)); do
   case "${args[$i]}" in
@@ -66,6 +66,10 @@ python tools/autotune_smoke.py
 echo
 echo "== partition smoke (mixed-plan wins, digest invariance, cache) =="
 python tools/partition_smoke.py
+
+echo
+echo "== calibrate smoke (fit, warm-cache byte-identity, probe pruning) =="
+python tools/calibrate_smoke.py
 
 echo
 echo "== wall-clock benchmark =="
