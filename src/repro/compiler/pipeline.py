@@ -195,6 +195,13 @@ def compile_source(
     _CACHE_STATS["misses"] += 1
     program = lower_program(parse(source))
     spmd = run_postpass(program.main, options)
+    if "C$BUG" in source:
+        # Seeded-defect corpus (tests/badprogs, docs/CHECK.md): comment
+        # pragmas mutate the freshly planned transfer schedule so the
+        # static verifier and the sanitizer have real bugs to catch.
+        from repro.compiler.postpass.bugseed import apply_bug_pragmas
+
+        apply_bug_pragmas(spmd, source)
     _COMPILE_CACHE[key] = spmd
     while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
         _COMPILE_CACHE.popitem(last=False)

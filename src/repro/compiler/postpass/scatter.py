@@ -136,6 +136,13 @@ class RegionCommPlan:
     #: Scalars slaves need before executing the region.
     scalars_in: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Fence epochs closing the scatter and collect phases (§3's
+    #: scatter / fence / compute / collect / fence schedule).  Always
+    #: True for planner-produced plans; cleared only by the seeded-bug
+    #: pragmas (``C$BUG DROP-FENCE``) so the RV3xx verifier checks and
+    #: the sanitizer have something real to catch.
+    scatter_fence: bool = True
+    collect_fence: bool = True
 
     def total_messages(self) -> int:
         return sum(

@@ -56,6 +56,7 @@ class _Execution:
         cluster_params: Optional[ClusterParams],
         execute: bool,
         init: Optional[Dict[str, np.ndarray]],
+        sanitize: bool = False,
     ):
         self.program = program
         self.execute = execute
@@ -107,6 +108,20 @@ class _Execution:
         self.collect_bytes = 0
         #: region_id -> [visits, elapsed_s] measured on the master.
         self.region_profile: Dict[int, list] = {}
+        #: Shadow-access sanitizer (docs/CHECK.md); probes every array
+        #: access, so it needs real values to be meaningful.
+        self.san = None
+        if sanitize:
+            if not execute:
+                raise ExecutionError(
+                    "--sanitize needs value execution; timing mode "
+                    "(execute=False) never touches array elements"
+                )
+            from repro.runtime.sanitizer import Sanitizer
+
+            self.san = Sanitizer(program)
+            for r in range(nprocs):
+                self.interps[r].probe = self.san.make_probe(r)
 
     # -- helpers ---------------------------------------------------------
     def _compute(self, rank: int, overhead: float = 0.0):
@@ -229,6 +244,8 @@ class _Execution:
                     data = yield from comm.bcast(payload, root=0)
                     if rank != 0 and self.execute:
                         mem.arrays[name][t.indices()] = data
+                        if self.san is not None:
+                            self.san.on_scatter(rank, name, t)
                     if rank == 0:
                         self.scatter_messages += 1
                         self.scatter_bytes += t.count * aplan.itemsize
@@ -247,7 +264,12 @@ class _Execution:
                         )
                         self.scatter_messages += 1
                         self.scatter_bytes += t.count * aplan.itemsize
-        yield from self._fence_all(rank, win_names)
+                        if self.san is not None:
+                            self.san.on_scatter(r, name, t)
+        if plan.scatter_fence:
+            yield from self._fence_all(rank, win_names)
+        elif self.san is not None:
+            self.san.fence_skipped(region.region_id, "scatter", plan)
 
         # ---- compute -----------------------------------------------------
         reductions = loop.reductions
@@ -262,6 +284,8 @@ class _Execution:
 
         rctx = partition.rank_ctx(rank)
         if rctx is not None:
+            if self.san is not None:
+                self.san.begin_compute(rank, region.region_id)
             interp = self.interps[rank]
             if partition.split_dim == 0:
                 interp.run_loop(
@@ -272,6 +296,8 @@ class _Execution:
                 # perfect nest; the rank runs the outer dimensions in
                 # full over a bounds-rewritten copy (docs/PARTITION.md).
                 interp.run_loop(partition.rank_loop(rank, loop), {})
+            if self.san is not None:
+                self.san.end_compute(rank)
             yield self._compute(
                 rank, overhead=self.cluster.params.cpu.spmd_compute_overhead
             )
@@ -296,6 +322,8 @@ class _Execution:
             win = self.wins[name][rank]
             for t in transfers:
                 data = self._payload(rank, name, t, aplan.itemsize)
+                if self.san is not None:
+                    self.san.on_collect(rank, region.region_id, name, t)
                 yield from win.put(
                     data,
                     target=0,
@@ -306,10 +334,15 @@ class _Execution:
                 )
                 self.collect_messages += 1
                 self.collect_bytes += t.count * aplan.itemsize
-        yield from self._fence_all(rank, win_names)
+        if plan.collect_fence:
+            yield from self._fence_all(rank, win_names)
+        elif self.san is not None:
+            self.san.fence_skipped(region.region_id, "collect", plan)
 
         # Master folds the combined reductions back into its scalars.
         if rank == 0:
+            if self.san is not None:
+                self.san.region_end(region.region_id, plan)
             for s, _op in reductions:
                 mem.scalars[s] = float(self.redwin[0].local[self.red_slots[s]])
         if reductions:
@@ -348,6 +381,8 @@ class _Execution:
                 rep.contiguous_transfers += w.puts_contig + w.gets_contig
         rep.stdout = list(self.interps[0].prints)
         rep.memory = self.memories[0]
+        if self.san is not None:
+            rep.sanitizer = self.san.to_jsonable()
         if self.cluster.injector is not None:
             rep.fault_stats = self.cluster.injector.stats()
         if self.tracer is not None:
@@ -372,6 +407,7 @@ def run_program(
     init: Optional[Dict[str, np.ndarray]] = None,
     trace: bool = False,
     faults=None,
+    sanitize: bool = False,
 ) -> RunReport:
     """Run a compiled SPMD program on a freshly built simulated cluster.
 
@@ -383,7 +419,9 @@ def run_program(
     faults; the run either recovers via link-level retransmission (the
     report's ``fault_stats`` shows the recovery work) or raises a typed
     :class:`~repro.mpi2.exceptions.MpiFaultError` — never a hang, never a
-    silently corrupted result (see docs/FAULTS.md).
+    silently corrupted result (see docs/FAULTS.md).  ``sanitize=True``
+    installs the shadow-access sanitizer (requires value mode; the
+    report's ``sanitizer`` field carries the verdict — docs/CHECK.md).
     """
     if trace or faults is not None:
         cluster_params = replace(
@@ -394,7 +432,7 @@ def run_program(
                 if v is not None
             },
         )
-    ex = _Execution(program, cluster_params, execute, init)
+    ex = _Execution(program, cluster_params, execute, init, sanitize=sanitize)
     procs = [
         ex.sim.process(ex.run_rank(r), name=f"rank{r}")
         for r in range(program.nprocs)

@@ -101,6 +101,11 @@ class Interpreter:
         #: which loop-execution strategy fired (pure accounting; never
         #: changes evaluation order or results).
         self.metrics = metrics
+        #: Optional access probe ``(name, flat_idx, is_write) -> None``
+        #: installed by the ``--sanitize`` shadow-access mode.  Fires on
+        #: every value-mode array read/write (scalar and vectorized
+        #: paths alike); never changes evaluation order or results.
+        self.probe = None
 
     # -- cycle accounting ---------------------------------------------------
     def take_seconds(self) -> float:
@@ -184,6 +189,8 @@ class Interpreter:
                 return 0.0
             idx = self._flat_index(e, env)
             arr = self.mem.arrays[e.name]
+            if self.probe is not None:
+                self.probe(e.name, idx, False)
             return arr[idx]
         if isinstance(e, F.BinOp):
             a = self.eval(e.left, env)
@@ -277,6 +284,8 @@ class Interpreter:
                     return
                 idx = self._flat_index(s.lhs, env)
                 value = self.eval(s.rhs, env)
+                if self.probe is not None:
+                    self.probe(s.lhs.name, idx, True)
                 self.mem.arrays[s.lhs.name][idx] = value
         elif isinstance(s, F.Do):
             self.run_loop(s, env)
@@ -477,6 +486,8 @@ class Interpreter:
             value = self.eval(stmt.rhs, venv)
         except InterpError:
             return False
+        if self.probe is not None:
+            self.probe(name, lhs_idx, True)
         self.mem.arrays[name][lhs_idx] = value
         return True
 
@@ -572,5 +583,8 @@ class Interpreter:
         if np.ndim(vec) == 0:
             vec = np.full(len(values), vec)
         arr = self.mem.arrays[stmt.lhs.name]
+        if self.probe is not None:
+            self.probe(stmt.lhs.name, slot, False)
+            self.probe(stmt.lhs.name, slot, True)
         arr[slot] = self._apply_reduction(op, arr[slot], vec)
         return True

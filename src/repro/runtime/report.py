@@ -65,6 +65,9 @@ class RunReport:
     #: corrupted flits, retransmission rounds, stalls, kills.  Empty unless
     #: the run had an active fault plan.
     fault_stats: Dict[str, float] = field(default_factory=dict)
+    #: Shadow-access sanitizer verdict (``Sanitizer.to_jsonable()``);
+    #: ``None`` unless the run had ``sanitize=True`` (docs/CHECK.md).
+    sanitizer: Optional[Dict] = None
 
     @property
     def comm_max_s(self) -> float:
@@ -131,6 +134,9 @@ class RunReport:
                 str(rid): self.partition_map[rid]
                 for rid in sorted(self.partition_map)
             }
+        # Sanitized runs carry their verdict; plain rows keep their bytes.
+        if self.sanitizer is not None:
+            out["sanitizer"] = self.sanitizer
         return out
 
     def array_digest(self) -> Optional[str]:

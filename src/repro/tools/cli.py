@@ -8,6 +8,9 @@ Usage::
     python -m repro run     PROG.f [--nprocs 4] [--granularity fine]
                                    [--backend vbus] [--timing]
                                    [--arrays A,B] [--tune-plan PLAN.json]
+                                   [--sanitize]
+    python -m repro check   PROG.f [--nprocs 4] [--granularity fine]
+                                   [--cache-dir DIR] [--no-cache]
     python -m repro trace   PROG.f [--nprocs 4] [--backend vbus]
                                    [--timing] [--out PREFIX]
     python -m repro autotune PROG.f [--nprocs 4] [--metric comm]
@@ -52,6 +55,25 @@ from repro.sweep.runner import BACKENDS
 from repro.tools.autotune import METRICS, choose_granularity
 
 __all__ = ["main"]
+
+
+class _CliError(Exception):
+    """A user-facing CLI failure: printed to stderr, exit status 2.
+
+    Raised instead of letting artifact-loading errors (missing or
+    malformed JSON plans) escape as tracebacks — the same discipline
+    ``PartitionError`` already gets in :func:`main`.
+    """
+
+
+def _load_artifact(loader, path: str, what: str):
+    """Load a JSON artifact, turning I/O and schema errors into
+    :class:`_CliError` (``FileNotFoundError`` is an ``OSError``;
+    ``json.JSONDecodeError`` is a ``ValueError``)."""
+    try:
+        return loader(path)
+    except (OSError, ValueError) as exc:
+        raise _CliError(f"{what}: cannot load {path!r}: {exc}")
 
 
 def _partition_spec(value: str) -> str:
@@ -111,7 +133,7 @@ def _add_faults(p: argparse.ArgumentParser) -> None:
 def _load_faults(args) -> Optional[FaultPlan]:
     if getattr(args, "faults", None) is None:
         return None
-    return FaultPlan.load(args.faults)
+    return _load_artifact(FaultPlan.load, args.faults, "faults")
 
 
 def _source_text(source: str) -> str:
@@ -181,7 +203,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "'repro autotune --per-region --plan-out' (docs/AUTOTUNE.md); "
         "overrides --granularity",
     )
+    pr.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="shadow-access sanitizer: cross-check every array access "
+        "against shadow validity planes (value mode only; docs/CHECK.md); "
+        "exits 2 on violations",
+    )
     _add_faults(pr)
+
+    pk = sub.add_parser(
+        "check",
+        help="static comm-plan verifier and race detector: exits 2 with "
+        "RV-coded diagnostics, 0 when clean (docs/CHECK.md)",
+    )
+    _add_common(pk)
+    pk.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="CheckReport cache location (default: .sweep-cache, "
+        "shared with 'repro sweep')",
+    )
+    pk.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the CheckReport cache",
+    )
 
     pt = sub.add_parser(
         "trace", help="run with tracing on and export timeline + metrics"
@@ -369,10 +417,17 @@ def _cmd_compile(args) -> int:
 
 def _cmd_run(args) -> int:
     source = _source_text(args.source)
+    if args.sanitize and args.timing:
+        print(
+            "run: --sanitize needs value mode (timing runs never compute "
+            "the array accesses the shadow planes track)",
+            file=sys.stderr,
+        )
+        return 2
     if args.tune_plan is not None:
         from repro.tools.tuneplan import TunePlan
 
-        plan = TunePlan.load(args.tune_plan)
+        plan = _load_artifact(TunePlan.load, args.tune_plan, "run")
         prog = compile_source(
             source,
             options=plan.options(
@@ -396,10 +451,27 @@ def _cmd_run(args) -> int:
         cluster_params=_cluster(args),
         execute=not args.timing,
         faults=_load_faults(args),
+        sanitize=args.sanitize,
     )
     for line in report.stdout:
         print(line)
     print(report.summary())
+    if args.sanitize:
+        san = report.sanitizer or {}
+        if san.get("clean", True):
+            print("  sanitizer         : clean")
+        else:
+            for v in san.get("violations", ()):
+                where = (
+                    f" region {v['region_id']}" if "region_id" in v else ""
+                )
+                who = f" rank {v['rank']}" if "rank" in v else ""
+                what = f" {v['array']}" if "array" in v else ""
+                print(
+                    f"  {v['code']}:{where}{who}{what}: {v['detail']}"
+                    f" (x{v['count']})"
+                )
+            return 2
     if args.compare_sequential:
         seq = run_sequential(prog, execute=not args.timing)
         print(
@@ -414,6 +486,24 @@ def _cmd_run(args) -> int:
                 continue
             print(f"{name} = {report.memory.shaped(name)}")
     return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.sweep.cache import DEFAULT_CACHE_DIR
+    from repro.tools.check import check_source
+
+    cache_dir = None if args.no_cache else (
+        args.cache_dir or DEFAULT_CACHE_DIR
+    )
+    report = check_source(
+        _source_text(args.source),
+        nprocs=args.nprocs,
+        granularity=args.granularity,
+        partition=args.partition,
+        cache_dir=cache_dir,
+    )
+    print(report.summary())
+    return 0 if report.clean else 2
 
 
 def _cmd_trace(args) -> int:
@@ -519,7 +609,9 @@ def _cmd_autotune(args) -> int:
         if args.calibration is not None:
             from repro.tools.calibrate import CalibratedModel
 
-            calibration = CalibratedModel.load(args.calibration)
+            calibration = _load_artifact(
+                CalibratedModel.load, args.calibration, "autotune"
+            )
         cache_dir = None if args.no_cache else (
             args.cache_dir or DEFAULT_CACHE_DIR
         )
@@ -568,6 +660,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compile(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "sweep":
@@ -578,6 +672,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except MpiFaultError as exc:
         print(f"fault: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 3
+    except _CliError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     except PartitionError as exc:
         # Bad partition requests carry their region provenance
         # (docs/PARTITION.md) — surface them as a clean CLI error

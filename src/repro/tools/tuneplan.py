@@ -323,6 +323,15 @@ class TunePlan:
     calibration_sha256: str = ""
     #: True when this plan came from the on-disk plan cache.
     cached: bool = field(default=False, compare=False)
+    #: Analytic-tier price evaluations the search actually performed.
+    #: Diagnostic counters only — never serialized (so pruned and
+    #: unpruned searches emit byte-identical artifacts), 0 on warm
+    #: cache hits.
+    evaluated_candidates: int = field(default=0, compare=False)
+    #: (region, candidate) pairs the static tier skipped: verifier-
+    #: illegal candidates dropped before pricing plus structural
+    #: duplicates collapsed by price-key sharing (docs/CHECK.md).
+    pruned_candidates: int = field(default=0, compare=False)
 
     @property
     def mixed(self) -> bool:
@@ -478,6 +487,28 @@ def _margin(values: List[float]) -> float:
     return (second - best) / second
 
 
+def _plan_price_key(plan: RegionCommPlan) -> tuple:
+    """Everything the cost model reads from a region plan, as a hashable
+    projection: two plans with equal keys price identically on every
+    backend and calibration (:func:`region_model_cost` and
+    :func:`region_features` walk exactly these fields).  The static
+    pruning tier uses it to collapse structural duplicates — e.g. a
+    coarse variant the §5.6 bound check demoted back to fine, or a
+    forced-strategy variant identical to what ``auto`` resolved to —
+    into a single evaluation (docs/CHECK.md)."""
+    out = []
+    for name in sorted(plan.arrays):
+        a = plan.arrays[name]
+        out.append((
+            name,
+            a.itemsize,
+            a.scatter_bcast,
+            tuple((r, tuple(a.scatter[r])) for r in sorted(a.scatter)),
+            tuple((r, tuple(a.collect[r])) for r in sorted(a.collect)),
+        ))
+    return tuple(out)
+
+
 def _cand_key(grain: str, spec: Optional[str]) -> str:
     """Stable label of a (grain, strategy) candidate for JSON dicts."""
     return grain if spec is None else f"{grain}/{spec}"
@@ -623,6 +654,7 @@ def tune_per_region(
     faults=None,
     tune_partition: bool = False,
     calibration=None,
+    static_prune: bool = True,
 ) -> TunePlan:
     """Derive a per-region mixed-grain :class:`TunePlan` for ``source``.
 
@@ -646,6 +678,17 @@ def tune_per_region(
     fitted model is confident.  The calibration's content hash joins the
     plan cache key and the artifact (``calibration_sha256``), keeping
     uncalibrated plans byte-identical to what earlier releases wrote.
+
+    ``static_prune`` (default on) runs the :mod:`repro.tools.check`
+    verifier over every compiled variant before the analytic tier:
+    candidates it proves illegal for a region (RV4xx — e.g. a forced
+    split dimension crossing a carried dependence) are dropped from that
+    region's search, and structural duplicates (identical priced
+    transfer schedules) collapse to one evaluation.  Pruning never
+    changes the chosen plan on statically-legal programs — the artifact
+    is byte-identical either way, which is why the flag stays out of
+    the cache key; the saved work shows in ``evaluated_candidates`` /
+    ``pruned_candidates``.
 
     Warm calls (``cache_dir`` holds a plan for this exact problem)
     return the cached plan without compiling or profiling anything.
@@ -697,6 +740,29 @@ def tune_per_region(
         for g in GRAINS
         if sorted(programs[(g, s)].plans) == region_ids
     ]
+
+    # Static pruning tier (docs/CHECK.md): before pricing anything, run
+    # the comm-plan verifier over every variant and drop candidates it
+    # proves illegal for a region.  A region where *every* candidate is
+    # illegal keeps the full list — the tuner must still pick something,
+    # and an everywhere-illegal program is 'repro check's verdict to
+    # deliver, not the tuner's.
+    evaluated = 0
+    pruned = 0
+    region_cands: Dict[int, List[Tuple[str, Optional[str]]]] = {
+        rid: candidates for rid in region_ids
+    }
+    if static_prune:
+        from repro.tools.check import bad_region_map
+
+        illegal = {
+            c: frozenset(bad_region_map(programs[c])) for c in candidates
+        }
+        for rid in region_ids:
+            kept = [c for c in candidates if rid not in illegal[c]]
+            if kept and len(kept) < len(candidates):
+                pruned += len(candidates) - len(kept)
+                region_cands[rid] = kept
 
     # Joint searches price load imbalance: per-strategy iteration-weight
     # skew, scaled by each region's compute time from one baseline
@@ -760,15 +826,38 @@ def tune_per_region(
         int, Dict[Optional[str], Tuple[str, Optional[str]]]
     ] = {}
     for rid in region_ids:
-        costs = {
-            c: region_model_cost(programs[c].plans[rid], params)
-            for c in candidates
-        }
+        cands = region_cands[rid]
+
+        def _priced(cal=None) -> Dict[Tuple[str, Optional[str]], ModelCost]:
+            """Price every surviving candidate, sharing one ModelCost
+            between structural duplicates when pruning is on."""
+            nonlocal evaluated, pruned
+            out: Dict[Tuple[str, Optional[str]], ModelCost] = {}
+            shared: Dict[tuple, ModelCost] = {}
+            for c in cands:
+                pk = None
+                if static_prune:
+                    pk = _plan_price_key(programs[c].plans[rid])
+                    hit = shared.get(pk)
+                    if hit is not None:
+                        pruned += 1
+                        out[c] = hit
+                        continue
+                cost = region_model_cost(
+                    programs[c].plans[rid], params, calibration=cal
+                )
+                evaluated += 1
+                if pk is not None:
+                    shared[pk] = cost
+                out[c] = cost
+            return out
+
+        costs = _priced()
         model_costs[rid] = costs
 
         def _value_of(cost_of) -> Dict[Tuple[str, Optional[str]], float]:
             out = {}
-            for (g, s) in candidates:
+            for (g, s) in cands:
                 v = cost_of[(g, s)].metric(metric)
                 if s is not None and metric != "comm_cpu":
                     v += imb[rid].get(s, 0.0) * compute_s.get(rid, 0.0)
@@ -777,7 +866,7 @@ def tune_per_region(
 
         value = _value_of(costs)
         ranked = sorted(
-            candidates,
+            cands,
             key=lambda c: (
                 value[c],
                 costs[c].messages,
@@ -807,16 +896,7 @@ def tune_per_region(
             # model values, and therefore the flip-probe margins below
             # all speak calibrated prices; within-family ranking and
             # its near-tie band stay with the static model.
-            cal_value = _value_of(
-                {
-                    c: region_model_cost(
-                        programs[c].plans[rid],
-                        params,
-                        calibration=calibration,
-                    )
-                    for c in candidates
-                }
-            )
+            cal_value = _value_of(_priced(calibration))
             model_value = cal_value
             if len(fam_best) > 1:
                 champions = sorted(
@@ -837,7 +917,7 @@ def tune_per_region(
             margin=margin,
             model={
                 _cand_key(g, s): model_value[(g, s)]
-                for (g, s) in candidates
+                for (g, s) in cands
             },
             partition=best_s if tune_partition else None,
         )
@@ -1117,6 +1197,8 @@ def tune_per_region(
         tune_partition=tune_partition,
         partition_map=partition_map,
         calibration_sha256=cal_sha,
+        evaluated_candidates=evaluated,
+        pruned_candidates=pruned,
     )
     if cacheable:
         store_row(cache_dir, key, plan.to_jsonable())

@@ -1,0 +1,25 @@
+      PROGRAM SPLITB
+C     Planted defect: the inner J dimension carries a flow dependence
+C     (A(I,J) reads A(I,J-1)), so the requested block:1 split computes
+C     wrong answers silently (RV401) — no pragma needed, the bad
+C     partition spec comes from the manifest.
+      PARAMETER (N = 8, M = 16)
+      REAL*8 A(N, M)
+      DO I = 1, N
+        DO J = 1, M
+          A(I, J) = I * 2.0
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 2, M
+          A(I, J) = A(I, J - 1) + 1.0
+        ENDDO
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        DO J = 1, M
+          S = S + A(I, J)
+        ENDDO
+      ENDDO
+      PRINT *, 'SUM', S
+      END

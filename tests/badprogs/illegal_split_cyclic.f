@@ -1,0 +1,24 @@
+      PROGRAM SPLITC
+C     Planted defect: as illegal_split_block.f, but with a cyclic:1
+C     split — every chunk boundary of the interleaving breaks the
+C     J-recurrence (RV401).
+      PARAMETER (N = 8, M = 16)
+      REAL*8 A(N, M)
+      DO I = 1, N
+        DO J = 1, M
+          A(I, J) = I * 2.0
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 2, M
+          A(I, J) = A(I, J - 1) + 1.0
+        ENDDO
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        DO J = 1, M
+          S = S + A(I, J)
+        ENDDO
+      ENDDO
+      PRINT *, 'SUM', S
+      END

@@ -1,0 +1,19 @@
+      PROGRAM NOCOLL
+C     Planted defect: the collect of A after the first parallel loop is
+C     dropped, so the master's copy is stale when the second loop
+C     scatters it back out reversed (RV102; sanitizer S-READ).
+      PARAMETER (N = 32)
+      REAL*8 A(N), B(N)
+      DO I = 1, N
+        A(I) = I * 2.0
+      ENDDO
+      DO I = 1, N
+        B(I) = A(N + 1 - I)
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + B(I)
+      ENDDO
+      PRINT *, 'SUM', S
+C$BUG DROP-COLLECT A
+      END

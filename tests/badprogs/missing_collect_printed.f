@@ -1,0 +1,12 @@
+      PROGRAM NOCOLLP
+C     Planted defect: the collect of A is dropped while the master
+C     PRINTs A directly afterwards (RV102; the sanitizer catches the
+C     master reading an element only a slave ever wrote).
+      PARAMETER (N = 32)
+      REAL*8 A(N)
+      DO I = 1, N
+        A(I) = I * 2.0
+      ENDDO
+      PRINT *, 'FIRST', A(1), 'LAST', A(N)
+C$BUG DROP-COLLECT A
+      END

@@ -1,0 +1,17 @@
+      PROGRAM RACECOLL
+C     Planted defect: under a cyclic partition every rank's coarse
+C     collect bounding box spans nearly the whole array; the planner's
+C     §5.6 check demotes the collect to fine grain, and the pragma
+C     undoes the demotion (RV201 overlap + RV202 stale gaps).
+      PARAMETER (N = 32)
+      REAL*8 A(N)
+      DO I = 1, N
+        A(I) = I * 1.5
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + A(I)
+      ENDDO
+      PRINT *, 'SUM', S
+C$BUG KEEP-GRAIN A
+      END

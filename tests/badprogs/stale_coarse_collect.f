@@ -1,0 +1,23 @@
+      PROGRAM STALECOL
+C     Planted defect: each rank writes only the even elements of its
+C     block, so the coarse bounding box carries stale odd gaps; the
+C     planner demotes the collect to fine grain and the pragma undoes
+C     it (RV202, no overlap so no RV201).  A is initialized through a
+C     scalar recurrence (serial) so slaves never hold the gap values.
+      PARAMETER (N = 64, H = 32)
+      REAL*8 A(N)
+      S = 0.0
+      DO I = 1, N
+        S = S + 1.0
+        A(I) = S
+      ENDDO
+      DO I = 1, H
+        A(2 * I) = I * 1.0
+      ENDDO
+      T = 0.0
+      DO I = 1, N
+        T = T + A(I)
+      ENDDO
+      PRINT *, 'SUM', T
+C$BUG KEEP-GRAIN A
+      END

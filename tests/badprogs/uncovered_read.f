@@ -1,0 +1,22 @@
+      PROGRAM UNCOVRD
+C     Planted defect: the scatter of B to rank 2 is dropped, so rank 2
+C     reads stale window memory (RV101; sanitizer S-READ).
+C     B is initialized through a scalar recurrence so the init loop
+C     stays serial and every slave genuinely needs the scatter.
+      PARAMETER (N = 32)
+      REAL*8 A(N), B(N)
+      S = 0.0
+      DO I = 1, N
+        S = S + 0.5
+        B(I) = S
+      ENDDO
+      DO I = 1, N
+        A(I) = B(I) + 1.0
+      ENDDO
+      T = 0.0
+      DO I = 1, N
+        T = T + A(I)
+      ENDDO
+      PRINT *, 'SUM', T
+C$BUG DROP-SCATTER B 2
+      END

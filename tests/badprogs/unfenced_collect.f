@@ -1,0 +1,16 @@
+      PROGRAM NOFENCC
+C     Planted defect: the fence epoch closing the collect phase is
+C     dropped, so the master may read results before slave puts land
+C     (RV302; sanitizer S-FENCE).
+      PARAMETER (N = 32)
+      REAL*8 A(N)
+      DO I = 1, N
+        A(I) = I * 3.0
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + A(I)
+      ENDDO
+      PRINT *, 'SUM', S
+C$BUG DROP-FENCE COLLECT
+      END

@@ -1,0 +1,21 @@
+      PROGRAM NOFENCS
+C     Planted defect: the fence epoch closing the scatter phase is
+C     dropped, so slaves may compute before the master's puts land
+C     (RV301; sanitizer S-FENCE).
+      PARAMETER (N = 32)
+      REAL*8 A(N), B(N)
+      S = 0.0
+      DO I = 1, N
+        S = S + 0.25
+        B(I) = S
+      ENDDO
+      DO I = 1, N
+        A(I) = B(I) * 2.0
+      ENDDO
+      T = 0.0
+      DO I = 1, N
+        T = T + A(I)
+      ENDDO
+      PRINT *, 'SUM', T
+C$BUG DROP-FENCE SCATTER
+      END

@@ -1,0 +1,38 @@
+"""Regenerate the static-verifier golden CheckReports.
+
+Run after an intentional diagnostic change (new code, reworded detail,
+schema bump — remember to bump CHECK_SCHEMA_VERSION):
+
+    PYTHONPATH=src python tests/make_check_goldens.py
+
+Each tests/badprogs program pins its full ``CheckReport.to_jsonable()``
+bytes under tests/golden/check_<stem>.json (docs/CHECK.md).
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.sweep.cache import canonical_json  # noqa: E402
+from repro.tools.check import check_source  # noqa: E402
+
+BADPROG_DIR = Path(__file__).parent / "badprogs"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def main() -> None:
+    manifest = json.loads((BADPROG_DIR / "manifest.json").read_text())
+    for fname, spec in manifest.items():
+        source = (BADPROG_DIR / fname).read_text()
+        report = check_source(source, cache_dir=None, **spec["options"])
+        stem = os.path.splitext(fname)[0]
+        out = GOLDEN_DIR / f"check_{stem}.json"
+        out.write_text(canonical_json(report.to_jsonable()) + "\n")
+        print(f"wrote {out} ({', '.join(sorted(report.codes()))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ DOC_FILES = (
     ROOT / "docs" / "SWEEP.md",
     ROOT / "docs" / "AUTOTUNE.md",
     ROOT / "docs" / "PARTITION.md",
+    ROOT / "docs" / "CHECK.md",
     ROOT / "docs" / "INDEX.md",
 )
 

@@ -1,0 +1,121 @@
+"""Edge-case coverage for ``split_candidates`` (docs/PARTITION.md).
+
+The structural filter behind block:D / cyclic:D requests — and now
+behind the verifier's RV401 partition-legality analysis — so its
+corner cases (imperfect nests, bounds that move, 1-trip dimensions)
+need pinning beyond the happy paths in test_postpass_partition.py.
+"""
+
+from repro.compiler.frontend.lower import lower_program
+from repro.compiler.frontend.parser import parse
+from repro.compiler.postpass.partition import split_candidates
+
+
+def loop_of(body: str):
+    src = f"""      PROGRAM P
+      PARAMETER (N = 8)
+      REAL*8 A(8, 8, 8)
+      REAL*8 S(8)
+{body}      END
+"""
+    return lower_program(parse(src)).main.body[0]
+
+
+def test_three_deep_perfect_nest_offers_every_dim():
+    loop = loop_of("""      DO I = 1, 8
+        DO J = 1, 8
+          DO K = 1, 8
+            A(K, J, I) = 1.0
+          ENDDO
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0, 1, 2]
+
+
+def test_imperfect_below_depth_one_stops_the_walk():
+    """A statement beside the depth-2 DO keeps dim 1 but blocks dim 2."""
+    loop = loop_of("""      DO I = 1, 8
+        DO J = 1, 8
+          S(J) = 0.0
+          DO K = 1, 8
+            A(K, J, I) = 1.0
+          ENDDO
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0, 1]
+
+
+def test_two_sibling_inner_loops_are_imperfect():
+    loop = loop_of("""      DO I = 1, 8
+        DO J = 1, 8
+          A(J, I, 1) = 1.0
+        ENDDO
+        DO K = 1, 8
+          A(K, I, 2) = 2.0
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0]
+
+
+def test_nonconstant_bound_blocks_its_dim_and_deeper_ones():
+    """DO J = 1, I is not rectangular; the constant-bound K below it
+    must NOT resurface as a candidate (the walk stops, it doesn't
+    skip)."""
+    loop = loop_of("""      DO I = 1, 8
+        DO J = 1, I
+          DO K = 1, 8
+            A(K, J, I) = 1.0
+          ENDDO
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0]
+
+
+def test_nonconstant_lower_bound_blocks_the_dim():
+    """DO J = I, 8 — a lower bound that moves with the outer index is
+    just as non-rectangular as a moving upper bound.  (Non-constant
+    *steps* never reach this filter: loop normalization rejects them
+    with a LowerError at the frontend.)"""
+    loop = loop_of("""      DO I = 1, 8
+        DO J = I, 8
+          A(J, I, 1) = 1.0
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0]
+
+
+def test_parameter_bounds_are_compile_time_constants():
+    """PARAMETER symbols fold during lowering, so N-bounded dims stay
+    legal split candidates."""
+    loop = loop_of("""      DO I = 1, N
+        DO J = 1, N
+          A(J, I, 1) = 1.0
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0, 1]
+
+
+def test_one_trip_inner_dim_is_still_a_candidate():
+    """A 1-trip dimension is degenerate but legal — every rank beyond
+    the first simply owns nothing of it."""
+    loop = loop_of("""      DO I = 1, 8
+        DO J = 3, 3
+          A(J, I, 1) = 1.0
+        ENDDO
+      ENDDO
+""")
+    assert split_candidates(loop) == [0, 1]
+
+
+def test_non_do_body_offers_only_dim_zero():
+    loop = loop_of("""      DO I = 1, 8
+        S(I) = 2.0
+      ENDDO
+""")
+    assert split_candidates(loop) == [0]

@@ -1,9 +1,13 @@
 """Tests for the command-line driver."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.tools.cli import main
 from repro.workloads import mm, synthetic
+
+BADPROG_DIR = Path(__file__).parent / "badprogs"
 
 
 @pytest.fixture
@@ -61,3 +65,61 @@ def test_cli_autotune(mm_file, capsys):
 def test_cli_rejects_bad_granularity(mm_file):
     with pytest.raises(SystemExit):
         main(["compile", mm_file, "--granularity", "chunky"])
+
+
+def test_cli_check_clean_exits_0(mm_file, capsys):
+    assert main(["check", mm_file, "--no-cache"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_check_dirty_exits_2(capsys):
+    bad = str(BADPROG_DIR / "uncovered_read.f")
+    assert main(["check", bad, "--no-cache"]) == 2
+    out = capsys.readouterr().out
+    assert "RV101" in out
+
+
+def test_cli_check_honors_partition_spec(capsys):
+    bad = str(BADPROG_DIR / "illegal_split_block.f")
+    # The bad split is diagnosed; the auto policy is clean.
+    assert main(["check", bad, "--no-cache", "--partition", "block:1"]) == 2
+    assert "RV401" in capsys.readouterr().out
+    assert main(["check", bad, "--no-cache"]) == 0
+
+
+def test_cli_run_sanitize_clean_and_dirty(mm_file, capsys):
+    assert main(["run", mm_file, "--sanitize"]) == 0
+    assert "sanitizer         : clean" in capsys.readouterr().out
+    bad = str(BADPROG_DIR / "unfenced_collect.f")
+    assert main(["run", bad, "--sanitize"]) == 2
+    assert "S-FENCE" in capsys.readouterr().out
+
+
+def test_cli_sanitize_rejects_timing_mode(mm_file, capsys):
+    assert main(["run", mm_file, "--sanitize", "--timing"]) == 2
+    assert "value mode" in capsys.readouterr().err
+
+
+def test_cli_missing_artifacts_exit_2_without_traceback(mm_file, capsys):
+    """Unloadable plan/calibration/fault artifacts are CLI errors (exit
+    2, message on stderr), never tracebacks."""
+    for argv in (
+        ["run", mm_file, "--tune-plan", "/no/such/plan.json"],
+        ["run", mm_file, "--faults", "/no/such/faults.json"],
+        ["autotune", mm_file, "--per-region",
+         "--calibration", "/no/such/cal.json"],
+    ):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "cannot load" in err
+
+
+def test_cli_malformed_artifact_exits_2(mm_file, tmp_path, capsys):
+    bad = tmp_path / "plan.json"
+    bad.write_text("{not json")
+    assert main(["run", mm_file, "--tune-plan", str(bad)]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    # Valid JSON of the wrong kind is equally a clean CLI error.
+    bad.write_text('{"kind": "calibration"}')
+    assert main(["run", mm_file, "--tune-plan", str(bad)]) == 2
+    assert "cannot load" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""The autotuner's static pruning tier (docs/CHECK.md, docs/AUTOTUNE.md).
+
+The contract: ``static_prune`` saves work, never changes answers.
+Pruned and unpruned searches emit byte-identical TunePlan artifacts on
+statically-legal programs (the corpus-wide version runs in
+tools/check_smoke.py over the PR 8/9 study cells), while the pruned
+search performs strictly fewer analytic price evaluations.
+"""
+
+from pathlib import Path
+
+from repro.sweep.cache import canonical_json
+from repro.tools.tuneplan import TunePlan, _plan_price_key, tune_per_region
+from repro.workloads import source_for
+
+BADPROG_DIR = Path(__file__).parent / "badprogs"
+
+
+def _both(source, **kw):
+    pruned = tune_per_region(source, cache_dir=None, static_prune=True, **kw)
+    full = tune_per_region(source, cache_dir=None, static_prune=False, **kw)
+    return pruned, full
+
+
+def test_pruned_search_is_byte_identical_and_cheaper():
+    pruned, full = _both(
+        source_for("MM-24"), nprocs=4, metric="comm", backend="gige",
+        tune_partition=True,
+    )
+    assert canonical_json(pruned.to_jsonable()) == canonical_json(
+        full.to_jsonable()
+    )
+    assert pruned.evaluated_candidates < full.evaluated_candidates
+    assert pruned.pruned_candidates > 0
+    # The baseline prices every (region, candidate) pair and collapses
+    # nothing.
+    assert full.pruned_candidates == 0
+
+
+def test_counters_stay_out_of_the_artifact():
+    pruned, _ = _both(
+        source_for("MM-16"), nprocs=4, metric="comm", backend="vbus"
+    )
+    row = pruned.to_jsonable()
+    assert "evaluated_candidates" not in row
+    assert "pruned_candidates" not in row
+    # ...so round-tripped plans count zero but still compare equal.
+    again = TunePlan.from_jsonable(row)
+    assert again.evaluated_candidates == 0
+    assert again == pruned
+
+
+def test_all_illegal_region_falls_back_to_full_list():
+    """A seeded-bug region is illegal at *every* candidate; the tuner
+    must keep the full list (something has to be chosen) and still
+    match the unpruned artifact."""
+    source = (BADPROG_DIR / "unfenced_scatter.f").read_text()
+    pruned, full = _both(source, nprocs=4, metric="comm", backend="vbus")
+    assert canonical_json(pruned.to_jsonable()) == canonical_json(
+        full.to_jsonable()
+    )
+
+
+def test_price_key_identifies_structural_duplicates():
+    """Variants whose region plans emit the same transfers share a
+    price key even though the plan objects differ (grain field)."""
+    from repro.compiler.pipeline import compile_source
+
+    source = source_for("MM-16")
+    auto = compile_source(source, nprocs=4, granularity="fine")
+    block = compile_source(
+        source, nprocs=4, granularity="fine", partition="block"
+    )
+    rid = sorted(auto.plans)[0]
+    # MM's rectangular loops resolve auto -> block, so the forced-block
+    # variant is a structural duplicate of the auto one.
+    assert _plan_price_key(auto.plans[rid]) == _plan_price_key(
+        block.plans[rid]
+    )
+    cyclic = compile_source(
+        source, nprocs=4, granularity="fine", partition="cyclic"
+    )
+    assert _plan_price_key(auto.plans[rid]) != _plan_price_key(
+        cyclic.plans[rid]
+    )

@@ -53,5 +53,8 @@ if dead:
 print(f"markdown links OK ({len(files)} file(s) scanned)")
 EOF
 
+echo "-- repo convention lints --"
+python tools/lint_repo.py
+
 echo "-- docs snippet tests --"
 python -m pytest -q tests/test_docs_snippets.py "$@"

@@ -72,6 +72,10 @@ echo "== calibrate smoke (fit, warm-cache byte-identity, probe pruning) =="
 python tools/calibrate_smoke.py
 
 echo
+echo "== check smoke (verifier corpus, sanitizer contract, pruning) =="
+python tools/check_smoke.py
+
+echo
 echo "== wall-clock benchmark =="
 python benchmarks/bench_wallclock.py "$@"
 
